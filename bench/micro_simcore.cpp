@@ -1,0 +1,125 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * event scheduling, DRAM beat service, address decoding, nCache
+ * operations and an end-to-end packet. These track the *simulator's*
+ * performance (events/second), useful when scaling the replay
+ * experiments up.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/MemoryController.hh"
+#include "net/Link.hh"
+#include "netdimm/NCache.hh"
+#include "kernel/Node.hh"
+
+using namespace netdimm;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(Tick(i), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_DimmDecode(benchmark::State &state)
+{
+    DramGeometry geo;
+    geo.channels = 1;
+    geo.ranksPerChannel = 2;
+    DimmDecoder dec(geo);
+    Addr a = 0;
+    for (auto _ : state) {
+        DramAddress da = dec.decode(a);
+        benchmark::DoNotOptimize(da);
+        a += 4096 + 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DimmDecode);
+
+void
+BM_MemoryControllerStream(benchmark::State &state)
+{
+    SystemConfig cfg;
+    DramGeometry geo = cfg.hostMem;
+    geo.channels = 1;
+    for (auto _ : state) {
+        EventQueue eq;
+        MemoryController mc(eq, "mc", cfg.dram, geo, cfg.memCtrl);
+        for (int i = 0; i < 256; ++i) {
+            auto req = makeMemRequest(Addr(i) * 4096, 4096, false,
+                                      MemSource::HostCpu, nullptr);
+            mc.access(req);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(mc.beatsServiced());
+    }
+    state.SetItemsProcessed(state.iterations() * 256 * 64);
+    state.SetLabel("beats");
+}
+BENCHMARK(BM_MemoryControllerStream);
+
+void
+BM_NCacheInsertConsume(benchmark::State &state)
+{
+    NetDimmConfig cfg;
+    NCache cache(cfg, 1);
+    Addr a = 0;
+    for (auto _ : state) {
+        cache.insert(a, (a & 0x3C0) == 0);
+        benchmark::DoNotOptimize(cache.consume(a));
+        a += 64;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NCacheInsertConsume);
+
+void
+BM_EndToEndPacket(benchmark::State &state)
+{
+    setQuiet(true);
+    SystemConfig cfg;
+    cfg.nic = static_cast<NicKind>(state.range(0));
+    for (auto _ : state) {
+        state.PauseTiming();
+        EventQueue eq;
+        Node a(eq, "a", cfg, 0), b(eq, "b", cfg, 1);
+        EthLink link(eq, "link", cfg.eth);
+        link.connect(a.endpoint(), b.endpoint());
+        a.connectTo(link);
+        b.connectTo(link);
+        int got = 0;
+        b.setReceiveHandler([&](const PacketPtr &, Tick) { ++got; });
+        state.ResumeTiming();
+
+        for (int i = 0; i < 16; ++i)
+            a.sendPacket(a.makeTxPacket(1460, b.id(), 1 + i % 4));
+        eq.run();
+        benchmark::DoNotOptimize(got);
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+    state.SetLabel(nicKindName(cfg.nic));
+}
+BENCHMARK(BM_EndToEndPacket)
+    ->Arg(int(NicKind::Discrete))
+    ->Arg(int(NicKind::Integrated))
+    ->Arg(int(NicKind::NetDimm))
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Quickstart: build two servers, connect them with 40GbE, and compare
+ * the one-way packet latency of a PCIe NIC, an integrated NIC, and
+ * NetDIMM -- the paper's headline experiment in ~40 lines of API use.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "sim/SystemConfig.hh"
+#include "workload/LatencyHarness.hh"
+
+using namespace netdimm;
+
+int
+main()
+{
+    setQuiet(true);
+    SystemConfig base; // Table 1 defaults
+
+    std::printf("One-way latency, two directly connected servers "
+                "(40GbE)\n");
+    std::printf("%-8s %10s %10s %10s %12s\n", "bytes", "dNIC(us)",
+                "iNIC(us)", "NetDIMM(us)", "NetDIMM gain");
+
+    for (std::uint32_t bytes : {64u, 256u, 1024u, 1460u}) {
+        PingResult dnic =
+            LatencyHarness(base, NicKind::Discrete).run(bytes);
+        PingResult inic =
+            LatencyHarness(base, NicKind::Integrated).run(bytes);
+        PingResult nd =
+            LatencyHarness(base, NicKind::NetDimm).run(bytes);
+        std::printf("%-8u %10.3f %10.3f %10.3f %10.1f%%\n", bytes,
+                    dnic.totalUs, inic.totalUs, nd.totalUs,
+                    100.0 * (1.0 - nd.totalUs / dnic.totalUs));
+    }
+    return 0;
+}

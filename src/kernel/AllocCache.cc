@@ -1,0 +1,133 @@
+#include "kernel/AllocCache.hh"
+
+namespace netdimm
+{
+
+AllocCache::AllocCache(EventQueue &eq, std::string name,
+                       NetdimmZoneAllocator &zone_alloc,
+                       std::uint32_t pages_per_subarray,
+                       Tick refill_delay)
+    : SimObject(eq, std::move(name)), _zone(zone_alloc),
+      _perSa(pages_per_subarray), _refillDelay(refill_delay)
+{
+    std::uint32_t total = _zone.totalSubArrays();
+    _pool.resize(total);
+    // Prefill: pages_per_subarray pages from every distinct
+    // sub-array (boot-time work, not simulated time).
+    for (std::uint32_t sa = 0; sa < total; ++sa) {
+        for (std::uint32_t i = 0; i < _perSa; ++i) {
+            // Craft a hint inside this sub-array by asking the zone
+            // allocator directly: slot addresses enumerate it.
+            Addr page = _zone.allocPage(std::nullopt);
+            _pool[saOf(page)].push_back(page);
+            ++_cached;
+        }
+    }
+}
+
+std::uint32_t
+AllocCache::saOf(Addr addr) const
+{
+    // Reuse the zone allocator's decoding by comparing against a
+    // canonical address per sub-array: NetdimmZoneAllocator exposes
+    // sameSubArray; for indexing we decode directly.
+    const DimmDecoder &dec = _zone.decoder();
+    DramAddress da = dec.decode(addr - _zone.base());
+    std::uint32_t sa_global =
+        da.subArray * dec.geometry().banksPerDevice + da.bank;
+    std::uint32_t per_rank = dec.geometry().banksPerDevice *
+                             dec.geometry().subArraysPerBank;
+    return da.rank * per_rank + sa_global;
+}
+
+Addr
+AllocCache::takeFrom(std::uint32_t sa, bool &fast)
+{
+    auto &lst = _pool[sa];
+    if (!lst.empty()) {
+        Addr page = lst.back();
+        lst.pop_back();
+        --_cached;
+        fast = true;
+        _fastHits.inc();
+        scheduleRefill(sa);
+        return page;
+    }
+    // Cache empty for this sub-array: the caller pays the slow
+    // __alloc_netdimm_pages path (still best effort on the hint).
+    fast = false;
+    _slowAllocs.inc();
+    return _zone.allocPage(std::nullopt);
+}
+
+Addr
+AllocCache::take(Addr hint, bool &fast)
+{
+    return takeFrom(saOf(hint), fast);
+}
+
+Addr
+AllocCache::takeAny(bool &fast)
+{
+    std::uint32_t total = std::uint32_t(_pool.size());
+    for (std::uint32_t probe = 0; probe < total; ++probe) {
+        std::uint32_t sa = (_cursor + probe) % total;
+        if (!_pool[sa].empty()) {
+            _cursor = (sa + 1) % total;
+            return takeFrom(sa, fast);
+        }
+    }
+    fast = false;
+    _slowAllocs.inc();
+    return _zone.allocPage(std::nullopt);
+}
+
+void
+AllocCache::release(Addr page)
+{
+    std::uint32_t sa = saOf(page);
+    if (_pool[sa].size() < _perSa) {
+        _pool[sa].push_back(page);
+        ++_cached;
+    } else {
+        _zone.freePage(page);
+    }
+}
+
+void
+AllocCache::scheduleRefill(std::uint32_t sa)
+{
+    _refillQueue.push_back(sa);
+    if (_refillScheduled)
+        return;
+    _refillScheduled = true;
+    scheduleRel(_refillDelay, [this] { doRefill(); });
+}
+
+void
+AllocCache::doRefill()
+{
+    _refillScheduled = false;
+    if (_refillQueue.empty())
+        return;
+    std::uint32_t sa = _refillQueue.front();
+    _refillQueue.pop_front();
+    if (_pool[sa].size() < _perSa && _zone.freePages() > 0) {
+        // Best effort: the refill may land on another sub-array if
+        // this one is drained; keep whatever we got.
+        Addr page = _zone.allocPage(std::nullopt);
+        std::uint32_t got = saOf(page);
+        if (_pool[got].size() < _perSa) {
+            _pool[got].push_back(page);
+            ++_cached;
+        } else {
+            _zone.freePage(page);
+        }
+    }
+    if (!_refillQueue.empty()) {
+        _refillScheduled = true;
+        scheduleRel(_refillDelay, [this] { doRefill(); });
+    }
+}
+
+} // namespace netdimm

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Driver base class: the polling, bare-metal network drivers of
+ * Sec. 5.1. A driver owns the software side of TX (buffer handling,
+ * descriptor kick) and RX (polling detection, SKB creation, copy or
+ * clone, delivery to the application).
+ */
+
+#ifndef NETDIMM_KERNEL_DRIVER_HH
+#define NETDIMM_KERNEL_DRIVER_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "kernel/Skb.hh"
+#include "net/Packet.hh"
+#include "sim/Random.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+class Driver : public SimObject
+{
+  public:
+    /** Packet payload became visible to the application at tick. */
+    using RxHandler = std::function<void(const PacketPtr &, Tick)>;
+
+    Driver(EventQueue &eq, std::string name, const SystemConfig &cfg)
+        : SimObject(eq, std::move(name)), _cfg(cfg),
+          _rng(cfg.seed ^ 0xD1B54A32D192ED03ull),
+          _rxCtx(cfg.cpu.cores)
+    {}
+
+    /**
+     * Application hands a payload to the stack. pkt->appSrc/bytes
+     * must be set; the driver stamps pkt->born.
+     */
+    virtual void send(const PacketPtr &pkt) = 0;
+
+    void setRxHandler(RxHandler h) { _rxHandler = std::move(h); }
+
+    std::uint64_t txPackets() const { return _txPkts.value(); }
+    std::uint64_t rxPackets() const { return _rxPkts.value(); }
+
+  protected:
+    const SystemConfig &_cfg;
+    Random _rng;
+
+    /**
+     * RX completions are processed by per-core contexts (one RSS
+     * queue / NAPI instance per core): packets of one flow serialize
+     * behind each other on their core, which is what makes receive
+     * throughput sensitive to per-packet CPU cost -- and to memory
+     * pressure stretching the copies (Fig. 5). A context frees when
+     * the *CPU* part of RX processing ends: after the copy for the
+     * conventional stack, but right after issuing netdimmClone for
+     * NetDIMM (the in-memory clone runs without the core).
+     */
+    void
+    dispatchRx(const PacketPtr &pkt, Tick visible)
+    {
+        std::size_t c = std::size_t(pkt->flowId) % _rxCtx.size();
+        RxContext &ctx = _rxCtx[c];
+        ctx.pending.emplace_back(pkt, visible);
+        if (!ctx.busy)
+            startNextRx(c);
+    }
+
+    /**
+     * One packet's RX software path. Implementations must invoke
+     * @p cpu_done exactly once, when the core is free to pick up the
+     * next completion.
+     */
+    virtual void processRx(const PacketPtr &pkt, Tick visible,
+                           std::function<void()> cpu_done) = 0;
+
+    void
+    deliverToApp(const PacketPtr &pkt, Tick t)
+    {
+        pkt->delivered = t;
+        _rxPkts.inc();
+        if (_rxHandler)
+            _rxHandler(pkt, t);
+    }
+
+    void countTx() { _txPkts.inc(); }
+
+    /**
+     * Random phase of the polling loop at the moment data became
+     * visible: uniform over one loop iteration.
+     */
+    Tick
+    pollPhase()
+    {
+        if (!_cfg.sw.modelPollPhase)
+            return 0;
+        Tick iter = _cfg.cpu.cycles(_cfg.cpu.pollIterationCycles);
+        return iter ? _rng.uniformInt(0, iter - 1) : 0;
+    }
+
+    /**
+     * Tick at which the software notices an RX completion that
+     * became visible at @p visible: the polling phase in Polling
+     * mode, or interrupt delivery (with moderation batching) in
+     * Interrupt mode.
+     */
+    Tick
+    noticeAt(Tick visible)
+    {
+        switch (_cfg.sw.notify) {
+          case NotifyMode::Polling:
+            return visible + pollPhase();
+          case NotifyMode::AdaptivePolling: {
+            // Inside the post-activity window the loop is spinning:
+            // polling-cost detection; afterwards the core has gone
+            // back to sleep and an interrupt must wake it.
+            bool polling = visible <= _adaptiveUntil;
+            Tick noticed = polling ? visible + pollPhase()
+                                   : interruptNotice(visible);
+            _adaptiveUntil = noticed + _cfg.sw.adaptivePollWindow;
+            return noticed;
+          }
+          case NotifyMode::Interrupt:
+            return interruptNotice(visible);
+        }
+        return visible;
+    }
+
+    /** Per-packet full-kernel-stack surcharge (0 in bare-metal mode). */
+    Tick
+    kernelStackDelay() const
+    {
+        return _cfg.cpu.cycles(_cfg.sw.kernelStackCycles);
+    }
+
+    /** Socket lookup/create for a flow (per-connection zone memo). */
+    SocketPtr
+    socketFor(std::uint64_t flow_id)
+    {
+        auto it = _sockets.find(flow_id);
+        if (it != _sockets.end())
+            return it->second;
+        auto s = std::make_shared<Socket>();
+        s->id = flow_id;
+        _sockets.emplace(flow_id, s);
+        return s;
+    }
+
+  private:
+    struct RxContext
+    {
+        std::deque<std::pair<PacketPtr, Tick>> pending;
+        bool busy = false;
+    };
+
+    RxHandler _rxHandler;
+    stats::Scalar _txPkts, _rxPkts;
+    std::unordered_map<std::uint64_t, SocketPtr> _sockets;
+    std::vector<RxContext> _rxCtx;
+    Tick _intrHoldoffUntil = 0;
+    Tick _intrDelivery = 0;
+    Tick _adaptiveUntil = 0;
+
+    Tick
+    interruptNotice(Tick visible)
+    {
+        if (visible >= _intrHoldoffUntil) {
+            // A fresh interrupt fires and re-arms the moderation
+            // holdoff window.
+            _intrHoldoffUntil = visible + _cfg.sw.interruptModeration;
+            _intrDelivery = visible + _cfg.sw.interruptLatency;
+        }
+        // Completions inside the holdoff are picked up by the
+        // already-scheduled handler invocation.
+        return std::max(visible, _intrDelivery);
+    }
+
+    void
+    startNextRx(std::size_t c)
+    {
+        RxContext &ctx = _rxCtx[c];
+        if (ctx.pending.empty()) {
+            ctx.busy = false;
+            return;
+        }
+        ctx.busy = true;
+        auto [pkt, visible] = ctx.pending.front();
+        ctx.pending.pop_front();
+        processRx(pkt, visible, [this, c] { startNextRx(c); });
+    }
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_KERNEL_DRIVER_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * NetDIMM driver (Sec. 4.2.2, Algorithm 1).
+ *
+ * TX: the fast path (connection already pinned to this NetDIMM's
+ * NET(i) zone) only *flushes* the SKB data -- which already lives in
+ * the NetDIMM local DRAM region -- and kicks the descriptor; the slow
+ * path (COPY_NEEDED) allocates a DMA buffer from allocCache, copies
+ * the SKB into it, memoizes the zone on the socket, then flushes.
+ *
+ * RX: the polling agent invalidates and re-reads the RX descriptor
+ * line (served by nCache), reads the header line (nCache hit, header
+ * flag), allocates the SKB data page *on the same sub-array* as the
+ * DMA buffer via allocCache, and invokes netdimmClone() -- RowClone
+ * FPM in the common case -- instead of a CPU copy.
+ */
+
+#ifndef NETDIMM_KERNEL_NETDIMMDRIVER_HH
+#define NETDIMM_KERNEL_NETDIMMDRIVER_HH
+
+#include "cache/Llc.hh"
+#include "kernel/AllocCache.hh"
+#include "kernel/CopyEngine.hh"
+#include "kernel/Driver.hh"
+#include "mem/MemorySystem.hh"
+#include "netdimm/NetDimmDevice.hh"
+
+namespace netdimm
+{
+
+class NetdimmDriver : public Driver
+{
+  public:
+    /**
+     * @param zone_index which NET(i) zone this driver's NetDIMM
+     *        occupies; a system with several NetDIMMs runs one
+     *        driver instance per device, each with its own zone
+     *        (Sec. 4.2.1).
+     */
+    NetdimmDriver(EventQueue &eq, std::string name,
+                  const SystemConfig &cfg, NetDimmDevice &dev,
+                  Llc &llc, CopyEngine &copy, AllocCache &alloc_cache,
+                  MemorySystem &mem, std::uint32_t zone_index = 0);
+
+    void send(const PacketPtr &pkt) override;
+
+    /**
+     * Allocate an application payload buffer for @p flow_id the way
+     * a NetDIMM-aware stack would: in the NET(i) zone once the
+     * connection is pinned there, so TX takes the fast path.
+     */
+    Addr allocAppBuffer(std::uint64_t flow_id);
+
+    std::uint64_t fastPathTx() const { return _fastTx.value(); }
+    std::uint64_t slowPathTx() const { return _slowTx.value(); }
+
+  private:
+    NetDimmDevice &_dev;
+    Llc &_llc;
+    CopyEngine &_copy;
+    AllocCache &_allocCache;
+    MemorySystem &_mem;
+    MemZone _zone;
+
+    stats::Scalar _fastTx, _slowTx;
+
+    void initRings();
+    void txFlushAndKick(const PacketPtr &pkt, Tick flush_start);
+    /** Page-by-page (scatter-gather) in-memory clone of an RX buffer. */
+    void cloneScattered(const PacketPtr &pkt, Tick t1);
+
+  protected:
+    void processRx(const PacketPtr &pkt, Tick visible,
+                   std::function<void()> cpu_done) override;
+
+  private:
+
+    /** Direct (uncached) read/write of a device range. */
+    void devWrite(Addr addr, std::uint32_t size,
+                  MemRequest::Completion cb);
+    void devRead(Addr addr, std::uint32_t size,
+                 MemRequest::Completion cb);
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_KERNEL_NETDIMMDRIVER_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * A complete simulated server node.
+ *
+ * One Node assembles the memory system (host channels + flex address
+ * map), the LLC with DDIO, the copy engine, the page allocator and --
+ * depending on SystemConfig::nic -- one of the five evaluated
+ * configurations: dNIC, dNIC.zcpy, iNIC, iNIC.zcpy (NicDevice +
+ * StandardDriver) or NetDIMM (NetDimmDevice + NetdimmDriver +
+ * NET0 zone allocator + allocCache).
+ *
+ * Applications interact through makeTxPacket()/sendPacket() and the
+ * receive handler; co-running workloads use cpuAccess() to load the
+ * same memory system the network path uses.
+ */
+
+#ifndef NETDIMM_KERNEL_NODE_HH
+#define NETDIMM_KERNEL_NODE_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cache/Llc.hh"
+#include "kernel/AllocCache.hh"
+#include "kernel/CopyEngine.hh"
+#include "kernel/Driver.hh"
+#include "kernel/NetdimmDriver.hh"
+#include "kernel/PageAllocator.hh"
+#include "kernel/StandardDriver.hh"
+#include "mem/MemorySystem.hh"
+#include "net/Link.hh"
+#include "netdimm/NetDimmDevice.hh"
+#include "nic/DiscreteNic.hh"
+#include "nic/IntegratedNic.hh"
+#include "pcie/PcieLink.hh"
+
+namespace netdimm
+{
+
+class Node : public SimObject
+{
+  public:
+    Node(EventQueue &eq, std::string name, const SystemConfig &cfg,
+         std::uint32_t id);
+
+    std::uint32_t id() const { return _id; }
+
+    // -- wiring ---------------------------------------------------------
+    /** The wire-facing endpoint (NIC or NetDIMM nNIC). */
+    NetEndpoint *endpoint();
+    /** Point the NIC's transmit side at a link or fabric. */
+    void setWire(std::function<void(const PacketPtr &)> wire);
+    /** Convenience: wire this node to one side of @p link. */
+    void connectTo(EthLink &link);
+
+    // -- application API --------------------------------------------------
+    /**
+     * Build a TX packet of @p bytes for @p dst on @p flow, with the
+     * application source buffer allocated the way this node's stack
+     * expects (NET zone for pinned NetDIMM flows).
+     */
+    PacketPtr makeTxPacket(std::uint32_t bytes, std::uint32_t dst,
+                           std::uint64_t flow = 1);
+
+    /** Hand a packet to the driver (stamps pkt->born). */
+    void sendPacket(const PacketPtr &pkt);
+
+    void setReceiveHandler(Driver::RxHandler h);
+
+    /** Demand memory access from a core through the LLC. */
+    void cpuAccess(Addr addr, std::uint32_t size, bool write,
+                   MemRequest::Completion cb);
+
+    /** A ZONE_NORMAL page for workload use. */
+    Addr allocWorkloadPage();
+
+    /**
+     * Dump every component's statistics (gem5-style name/value
+     * rows): driver, NIC, LLC, memory channels, and -- on a NetDIMM
+     * node -- nCache, RowClone, allocCache and the async protocol.
+     */
+    void printStats(std::ostream &os) const;
+
+    // -- component access -------------------------------------------------
+    const SystemConfig &config() const { return _cfg; }
+    MemorySystem &mem() { return *_mem; }
+    Llc &llc() { return *_llc; }
+    CopyEngine &copyEngine() { return *_copy; }
+    PageAllocator &pageAlloc() { return *_alloc; }
+    Driver &driver() { return *_driver; }
+    /** Null unless cfg.nic == NetDimm. */
+    NetDimmDevice *netdimm() { return _netdimm.get(); }
+    /** Null for the NetDIMM configuration. */
+    NicDevice *nic() { return _nic.get(); }
+    /** Null unless a discrete NIC is configured. */
+    PcieLink *pcie() { return _pcie.get(); }
+    AllocCache *allocCache() { return _allocCache.get(); }
+
+  private:
+    SystemConfig _cfg; ///< owned copy; benches tweak before building
+    std::uint32_t _id;
+
+    std::unique_ptr<MemorySystem> _mem;
+    std::unique_ptr<Llc> _llc;
+    std::unique_ptr<CopyEngine> _copy;
+    std::unique_ptr<PageAllocator> _alloc;
+    std::unique_ptr<PcieLink> _pcie;
+    std::unique_ptr<NicDevice> _nic;
+    std::unique_ptr<NetDimmDevice> _netdimm;
+    std::unique_ptr<NetdimmZoneAllocator> _zoneAlloc;
+    std::unique_ptr<AllocCache> _allocCache;
+    std::unique_ptr<Driver> _driver;
+
+    /** Round-robin application pages for standard-driver sources. */
+    std::vector<Addr> _appPages;
+    std::size_t _appCursor = 0;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_KERNEL_NODE_HH

@@ -1,0 +1,174 @@
+#include "kernel/PageAllocator.hh"
+
+#include "sim/Logging.hh"
+
+namespace netdimm
+{
+
+NetdimmZoneAllocator::NetdimmZoneAllocator(Addr base,
+                                           const DramGeometry &geo)
+    : _base(base), _decoder(geo), _ranks(geo.ranksPerChannel),
+      _saPerRank(geo.banksPerDevice * geo.subArraysPerBank),
+      _pagesPerSa(_decoder.pagesPerSubArray())
+{
+    _free.resize(std::size_t(_ranks) * _saPerRank);
+    for (std::uint32_t r = 0; r < _ranks; ++r) {
+        for (std::uint32_t sa = 0; sa < _saPerRank; ++sa) {
+            auto &lst = _free[std::size_t(r) * _saPerRank + sa];
+            lst.reserve(_pagesPerSa);
+            // Push in reverse so pop_back() hands out slot 0 first.
+            for (std::uint32_t s = _pagesPerSa; s > 0; --s)
+                lst.push_back(std::uint16_t(s - 1));
+        }
+    }
+    _freePages = std::uint64_t(_ranks) * _saPerRank * _pagesPerSa;
+}
+
+std::uint32_t
+NetdimmZoneAllocator::saIndexOf(Addr host_addr) const
+{
+    ND_ASSERT(host_addr >= _base);
+    DramAddress da = _decoder.decode(host_addr - _base);
+    std::uint32_t sa_global =
+        da.subArray * _decoder.geometry().banksPerDevice + da.bank;
+    return da.rank * _saPerRank + sa_global;
+}
+
+Addr
+NetdimmZoneAllocator::slotAddr(std::uint32_t sa_index,
+                               std::uint16_t slot) const
+{
+    std::uint32_t rank = sa_index / _saPerRank;
+    std::uint32_t sa_global = sa_index % _saPerRank;
+    std::uint32_t bank =
+        sa_global % _decoder.geometry().banksPerDevice;
+    std::uint32_t sub_array =
+        sa_global / _decoder.geometry().banksPerDevice;
+    return _base + _decoder.pageAddress(rank, bank, sub_array, slot);
+}
+
+Addr
+NetdimmZoneAllocator::allocPage(std::optional<Addr> hint)
+{
+    if (_freePages == 0)
+        fatal("NET zone exhausted: no free pages");
+
+    if (hint) {
+        std::uint32_t sa = saIndexOf(*hint);
+        auto &lst = _free[sa];
+        if (!lst.empty()) {
+            std::uint16_t slot = lst.back();
+            lst.pop_back();
+            --_freePages;
+            _hintedHits.inc();
+            return slotAddr(sa, slot);
+        }
+        _hintedMisses.inc();
+        // Best effort failed; fall through to any sub-array.
+    }
+
+    std::uint32_t total = std::uint32_t(_free.size());
+    for (std::uint32_t probe = 0; probe < total; ++probe) {
+        std::uint32_t sa = (_cursor + probe) % total;
+        auto &lst = _free[sa];
+        if (!lst.empty()) {
+            std::uint16_t slot = lst.back();
+            lst.pop_back();
+            --_freePages;
+            _cursor = (sa + 1) % total;
+            return slotAddr(sa, slot);
+        }
+    }
+    fatal("NET zone exhausted despite nonzero free count");
+}
+
+void
+NetdimmZoneAllocator::freePage(Addr page)
+{
+    ND_ASSERT(page % pageBytes == 0);
+    std::uint32_t sa = saIndexOf(page);
+    // Recover the slot index from the decoded row.
+    DramAddress da = _decoder.decode(page - _base);
+    std::uint32_t rows_per_page =
+        pageBytes / _decoder.geometry().rowBytes;
+    std::uint16_t slot = std::uint16_t(da.row / rows_per_page);
+    _free[sa].push_back(slot);
+    ++_freePages;
+}
+
+bool
+NetdimmZoneAllocator::sameSubArray(Addr a, Addr b) const
+{
+    return saIndexOf(a) == saIndexOf(b);
+}
+
+std::uint32_t
+NetdimmZoneAllocator::totalSubArrays() const
+{
+    return _ranks * _saPerRank;
+}
+
+PageAllocator::PageAllocator(Addr normal_base,
+                             std::uint64_t normal_bytes)
+    : _normalBase(normal_base), _normalBytes(normal_bytes),
+      _normalBump(normal_base)
+{
+}
+
+void
+PageAllocator::addNetZone(std::uint32_t index,
+                          NetdimmZoneAllocator *allocator)
+{
+    if (_netZones.size() <= index)
+        _netZones.resize(index + 1, nullptr);
+    _netZones[index] = allocator;
+}
+
+NetdimmZoneAllocator *
+PageAllocator::netZoneAllocator(std::uint32_t index)
+{
+    if (index >= _netZones.size())
+        return nullptr;
+    return _netZones[index];
+}
+
+Addr
+PageAllocator::allocPages(MemZone zone, std::uint32_t npages,
+                          std::optional<Addr> hint)
+{
+    ND_ASSERT(npages > 0);
+    if (isNetZone(zone)) {
+        ND_ASSERT(npages == 1);
+        NetdimmZoneAllocator *na = netZoneAllocator(netZoneIndex(zone));
+        if (!na)
+            fatal("zone %s has no NetDIMM attached",
+                  zoneName(zone).c_str());
+        return na->allocPage(hint);
+    }
+    // ZONE_NORMAL: recycle single pages, else bump.
+    if (npages == 1 && !_normalFree.empty()) {
+        Addr a = _normalFree.back();
+        _normalFree.pop_back();
+        return a;
+    }
+    Addr a = _normalBump;
+    _normalBump += std::uint64_t(npages) * pageBytes;
+    if (_normalBump > _normalBase + _normalBytes)
+        fatal("ZONE_NORMAL pool exhausted");
+    return a;
+}
+
+void
+PageAllocator::freePages(MemZone zone, Addr base, std::uint32_t npages)
+{
+    if (isNetZone(zone)) {
+        NetdimmZoneAllocator *na = netZoneAllocator(netZoneIndex(zone));
+        ND_ASSERT(na && npages == 1);
+        na->freePage(base);
+        return;
+    }
+    for (std::uint32_t i = 0; i < npages; ++i)
+        _normalFree.push_back(base + Addr(i) * pageBytes);
+}
+
+} // namespace netdimm

@@ -1,0 +1,23 @@
+#include "kernel/Zones.hh"
+
+namespace netdimm
+{
+
+std::string
+zoneName(MemZone z)
+{
+    switch (z) {
+      case MemZone::Dma:
+        return "ZONE_DMA";
+      case MemZone::Dma32:
+        return "ZONE_DMA32";
+      case MemZone::Normal:
+        return "ZONE_NORMAL";
+      case MemZone::HighMem:
+        return "ZONE_HIGHMEM";
+      default:
+        return "NET" + std::to_string(netZoneIndex(z));
+    }
+}
+
+} // namespace netdimm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Linux-style memory zones (Sec. 2.3 / 4.2.1).
+ *
+ * The kernel groups physical memory with common properties into
+ * zones; NetDIMM adds one NET(i) zone per installed NetDIMM so the
+ * allocator can place descriptor rings, DMA buffers and socket
+ * buffers on the right device.
+ */
+
+#ifndef NETDIMM_KERNEL_ZONES_HH
+#define NETDIMM_KERNEL_ZONES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace netdimm
+{
+
+/** Memory zone identifier. Values >= NetBase are NET(i) zones. */
+enum class MemZone : std::uint32_t
+{
+    Dma = 0,
+    Dma32,
+    Normal,
+    HighMem,
+    NetBase, ///< NET0; NET(i) == NetBase + i
+};
+
+/** NET(i) zone id. */
+inline MemZone
+netZone(std::uint32_t i)
+{
+    return static_cast<MemZone>(
+        static_cast<std::uint32_t>(MemZone::NetBase) + i);
+}
+
+/** @return true if @p z is a NET(i) zone. */
+inline bool
+isNetZone(MemZone z)
+{
+    return static_cast<std::uint32_t>(z) >=
+           static_cast<std::uint32_t>(MemZone::NetBase);
+}
+
+/** Index i of a NET(i) zone. */
+inline std::uint32_t
+netZoneIndex(MemZone z)
+{
+    return static_cast<std::uint32_t>(z) -
+           static_cast<std::uint32_t>(MemZone::NetBase);
+}
+
+/** Printable zone name ("ZONE_NORMAL", "NET0", ...). */
+std::string zoneName(MemZone z);
+
+} // namespace netdimm
+
+#endif // NETDIMM_KERNEL_ZONES_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory request descriptor shared by every memory-path component.
+ */
+
+#ifndef NETDIMM_MEM_MEMREQUEST_HH
+#define NETDIMM_MEM_MEMREQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/Ticks.hh"
+
+namespace netdimm
+{
+
+/** Physical address type. */
+using Addr = std::uint64_t;
+
+/** Who generated a memory request; used for interference accounting. */
+enum class MemSource : std::uint8_t
+{
+    HostCpu,   ///< demand access from a core (LLC miss)
+    HostDma,   ///< DMA from a PCIe or integrated NIC
+    NetDimmNic, ///< nNIC / nController access on the local channel
+    Clone,     ///< RowClone engine activity
+    Prefetch,  ///< nPrefetcher fills
+    Other,
+};
+
+/**
+ * One memory transaction. Components pass shared_ptrs so a request
+ * can sit in several bookkeeping structures (queue + outstanding map)
+ * while completion delivers exactly one callback.
+ */
+struct MemRequest
+{
+    /** Completion callback; argument is the finish tick. */
+    using Completion = std::function<void(Tick)>;
+
+    Addr addr = 0;
+    std::uint32_t size = 64;
+    bool write = false;
+    MemSource source = MemSource::Other;
+    /** Tick the requester handed the request to the controller. */
+    Tick issued = 0;
+    Completion onDone;
+
+    MemRequest() = default;
+
+    MemRequest(Addr a, std::uint32_t s, bool w, MemSource src,
+               Completion cb)
+        : addr(a), size(s), write(w), source(src), onDone(std::move(cb))
+    {}
+};
+
+using MemRequestPtr = std::shared_ptr<MemRequest>;
+
+/** Convenience factory. */
+inline MemRequestPtr
+makeMemRequest(Addr addr, std::uint32_t size, bool write, MemSource src,
+               MemRequest::Completion cb = nullptr)
+{
+    return std::make_shared<MemRequest>(addr, size, write, src,
+                                        std::move(cb));
+}
+
+} // namespace netdimm
+
+#endif // NETDIMM_MEM_MEMREQUEST_HH

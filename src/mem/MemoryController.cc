@@ -1,0 +1,263 @@
+#include "mem/MemoryController.hh"
+
+#include <algorithm>
+
+namespace netdimm
+{
+
+MemoryController::MemoryController(EventQueue &eq, std::string name,
+                                   const DramTiming &timing,
+                                   const DramGeometry &geo,
+                                   const MemCtrlConfig &cfg)
+    : SimObject(eq, std::move(name)), _timing(timing), _geo(geo),
+      _cfg(cfg), _decoder(geo),
+      _banks(std::size_t(geo.ranksPerChannel) * geo.banksPerDevice),
+      _stats(6)
+{
+}
+
+MemoryController::BankState &
+MemoryController::bank(const DramAddress &da)
+{
+    std::size_t idx =
+        std::size_t(da.rank) * _geo.banksPerDevice + da.bank;
+    ND_ASSERT(idx < _banks.size());
+    return _banks[idx];
+}
+
+void
+MemoryController::access(const MemRequestPtr &req)
+{
+    ND_ASSERT(req && req->size > 0);
+    req->issued = curTick();
+
+    // Split into cacheline beats, each hitting its own decoded bank.
+    Addr first = req->addr & ~Addr(cachelineBytes - 1);
+    Addr last = (req->addr + req->size - 1) & ~Addr(cachelineBytes - 1);
+    std::uint32_t nbeats =
+        std::uint32_t((last - first) / cachelineBytes) + 1;
+
+    auto parent = std::make_shared<Parent>();
+    parent->req = req;
+    parent->beatsLeft = nbeats;
+
+    Tick ready = curTick() + _cfg.frontendLatency;
+    for (std::uint32_t i = 0; i < nbeats; ++i) {
+        Beat b;
+        b.parent = parent;
+        b.lineAddr = first + Addr(i) * cachelineBytes;
+        b.da = _decoder.decode(b.lineAddr);
+        b.write = req->write;
+        b.ready = ready;
+        (req->write ? _writeQ : _readQ).push_back(b);
+    }
+    scheduleService(ready);
+}
+
+void
+MemoryController::scheduleService(Tick when)
+{
+    if (_serviceScheduled)
+        return;
+    _serviceScheduled = true;
+    Tick at = std::max(when, curTick());
+    eventq().schedule(at, [this] {
+        _serviceScheduled = false;
+        service();
+    }, EventPriority::Maintenance);
+}
+
+bool
+MemoryController::pickBeat(Beat &out)
+{
+    // Choose queue: reads have priority until the write queue crosses
+    // its drain watermark; draining continues until half empty.
+    std::size_t drain_hi = std::size_t(
+        _cfg.writeDrainFraction * double(_cfg.writeQueueDepth));
+    if (_writeQ.size() >= drain_hi)
+        _draining = true;
+    if (_writeQ.size() <= drain_hi / 2)
+        _draining = false;
+
+    std::deque<Beat> *order[2];
+    if (_draining || _readQ.empty()) {
+        order[0] = &_writeQ;
+        order[1] = &_readQ;
+    } else {
+        order[0] = &_readQ;
+        order[1] = &_writeQ;
+    }
+
+    for (std::deque<Beat> *q : order) {
+        // FR-FCFS lite: among the beats already ready, prefer a row
+        // hit within a small scan window, else the oldest ready one.
+        constexpr std::size_t scanWindow = 8;
+        std::size_t limit = std::min(q->size(), scanWindow);
+        std::size_t first_ready = limit;
+        std::size_t hit = limit;
+        for (std::size_t i = 0; i < limit; ++i) {
+            const Beat &b = (*q)[i];
+            if (b.ready > curTick())
+                continue;
+            if (first_ready == limit)
+                first_ready = i;
+            BankState &bs = bank(b.da);
+            if (bs.rowOpen && bs.openRow == b.da.rowId(_geo)) {
+                hit = i;
+                break;
+            }
+        }
+        std::size_t pick = (hit != limit) ? hit : first_ready;
+        if (pick == limit)
+            continue;
+        out = (*q)[pick];
+        q->erase(q->begin() + std::ptrdiff_t(pick));
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::issueBeat(const Beat &beat)
+{
+    BankState &bs = bank(beat.da);
+    std::uint64_t row = beat.da.rowId(_geo);
+
+    // Command issue may run ahead of "now": the controller pipelines
+    // the CAS latency of beat N under the data burst of beat N-1, so
+    // back-to-back row hits stream at max(tCCD, tBURST) -- the
+    // channel's nominal bandwidth.
+    Tick cl = _timing.clocks(_timing.tCL);
+    Tick burst = _timing.clocks(_timing.tBURST);
+
+    Tick cas_at = std::max(beat.ready, bs.nextCasAt);
+    if (bs.rowOpen && bs.openRow == row) {
+        _rowHits.inc();
+    } else if (bs.rowOpen) {
+        // Precharge (plus write recovery if the last op was a write,
+        // folded into tRP here) then activate.
+        cas_at += _timing.clocks(_timing.tRP + _timing.tRCD);
+        _rowMisses.inc();
+    } else {
+        cas_at += _timing.clocks(_timing.tRCD);
+        _rowMisses.inc();
+    }
+
+    // The data burst is the serialized resource on the channel.
+    Tick bus_start = std::max(cas_at + cl, _busReady);
+    Tick done = bus_start + burst;
+    _busReady = done;
+    _busBusyTicks += burst;
+
+    bs.rowOpen = true;
+    bs.openRow = row;
+    bs.nextCasAt = cas_at + _timing.clocks(_timing.tCCD);
+
+    _beats.inc();
+    if (_trace)
+        _trace(bus_start, beat.lineAddr, beat.write,
+               beat.parent->req->source);
+    finishBeat(beat, done);
+}
+
+void
+MemoryController::finishBeat(const Beat &beat, Tick done)
+{
+    ParentPtr parent = beat.parent;
+    parent->lastDone = std::max(parent->lastDone, done);
+    ND_ASSERT(parent->beatsLeft > 0);
+    if (--parent->beatsLeft > 0)
+        return;
+
+    const MemRequestPtr &req = parent->req;
+    Tick respond = parent->lastDone + _cfg.backendLatency;
+    Tick lat = respond - req->issued;
+
+    auto &st = _stats[std::size_t(req->source)];
+    if (req->write) {
+        st.writeLatencyNs.sample(ticksToNs(lat));
+        st.bytesWritten.inc(req->size);
+    } else {
+        st.readLatencyNs.sample(ticksToNs(lat));
+        st.bytesRead.inc(req->size);
+    }
+
+    if (req->onDone) {
+        eventq().schedule(respond, [req, respond] { req->onDone(respond); });
+    }
+}
+
+void
+MemoryController::service()
+{
+    // Drain everything schedulable right now. Beats whose ready time
+    // is still in the future stay queued; the bus/bank reservations
+    // inside issueBeat() space the issued ones correctly even when
+    // their completion lies ahead of "now" (deterministic timing
+    // calculation, gem5-style).
+    Beat beat;
+    while (pickBeat(beat))
+        issueBeat(beat);
+
+    if (_readQ.empty() && _writeQ.empty())
+        return;
+
+    // Whatever remains is not ready yet: find the earliest ready time
+    // and come back then.
+    Tick next = maxTick;
+    for (const Beat &b : _readQ)
+        next = std::min(next, b.ready);
+    for (const Beat &b : _writeQ)
+        next = std::min(next, b.ready);
+    scheduleService(std::max(next, curTick() + 1));
+}
+
+Tick
+MemoryController::reserveBus(Tick earliest, Tick duration)
+{
+    Tick start = std::max({earliest, curTick(), _busReady});
+    _busReady = start + duration;
+    _busBusyTicks += duration;
+    return start;
+}
+
+void
+MemoryController::occupyBank(std::uint32_t rank, std::uint32_t bankIdx,
+                             Tick until)
+{
+    std::size_t idx = std::size_t(rank) * _geo.banksPerDevice + bankIdx;
+    ND_ASSERT(idx < _banks.size());
+    _banks[idx].nextCasAt = std::max(_banks[idx].nextCasAt, until);
+    // An in-DRAM copy leaves the bank's row buffer holding the
+    // destination row; conservatively drop the open row.
+    _banks[idx].rowOpen = false;
+}
+
+Tick
+MemoryController::idleReadLatency() const
+{
+    return _cfg.frontendLatency +
+           _timing.clocks(_timing.tRCD + _timing.tCL + _timing.tBURST) +
+           _cfg.backendLatency;
+}
+
+double
+MemoryController::meanReadLatencyNs() const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (const auto &s : _stats) {
+        sum += s.readLatencyNs.sum();
+        n += s.readLatencyNs.count();
+    }
+    return n ? sum / double(n) : 0.0;
+}
+
+double
+MemoryController::busUtilization() const
+{
+    Tick now = curTick();
+    return now ? double(_busBusyTicks) / double(now) : 0.0;
+}
+
+} // namespace netdimm

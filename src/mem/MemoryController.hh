@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Event-driven DDR memory controller model.
+ *
+ * One controller owns one channel. Requests split into cacheline
+ * beats; an FR-FCFS-flavoured scheduler (row hits first within a
+ * small scan window, reads prioritized over writes until the write
+ * queue crosses its drain watermark) issues beats against per-bank
+ * open-row state. The data bus serializes beats at tBURST, which is
+ * what bounds the channel at its nominal bandwidth (19.2GB/s for
+ * DDR4-2400).
+ *
+ * Two extra interfaces exist for NetDIMM:
+ *  - reserveBus(): the asynchronous NVDIMM-P protocol engine claims
+ *    DQ slots for XRD/SEND transfers so NetDIMM traffic contends for
+ *    host channel bandwidth with conventional DIMM traffic (Fig. 10).
+ *  - occupyBank(): the RowClone engine blocks a bank while an
+ *    in-memory copy is in flight.
+ */
+
+#ifndef NETDIMM_MEM_MEMORYCONTROLLER_HH
+#define NETDIMM_MEM_MEMORYCONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/AddressMap.hh"
+#include "mem/MemRequest.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+/** Anything that can service memory requests. */
+class MemTarget
+{
+  public:
+    virtual ~MemTarget() = default;
+    /** Submit a request; completion arrives via req->onDone. */
+    virtual void access(const MemRequestPtr &req) = 0;
+};
+
+/** Per-source latency/throughput accounting. */
+struct MemSourceStats
+{
+    stats::Average readLatencyNs;
+    stats::Average writeLatencyNs;
+    stats::Scalar bytesRead;
+    stats::Scalar bytesWritten;
+};
+
+class MemoryController : public SimObject, public MemTarget
+{
+  public:
+    /**
+     * @param eq event queue.
+     * @param name instance name.
+     * @param timing DDR timing set.
+     * @param geo geometry of the DIMMs on this channel.
+     * @param cfg queueing parameters.
+     */
+    MemoryController(EventQueue &eq, std::string name,
+                     const DramTiming &timing, const DramGeometry &geo,
+                     const MemCtrlConfig &cfg);
+
+    void access(const MemRequestPtr &req) override;
+
+    /**
+     * Claim an exclusive data-bus window of @p duration ticks no
+     * earlier than @p earliest. Used by the NVDIMM-P async engine.
+     * @return start tick of the granted window.
+     */
+    Tick reserveBus(Tick earliest, Tick duration);
+
+    /**
+     * Keep (rank, bank) unavailable until @p until; RowClone uses
+     * this while rows are being copied inside the DRAM.
+     */
+    void occupyBank(std::uint32_t rank, std::uint32_t bank, Tick until);
+
+    /** Per-beat issue trace hook: (tick, line addr, write, source). */
+    using TraceHook =
+        std::function<void(Tick, Addr, bool, MemSource)>;
+
+    /** Install @p hook; pass nullptr to disable. Used by Fig. 7. */
+    void setTraceHook(TraceHook hook) { _trace = std::move(hook); }
+
+    /** Decoded view of this channel's DIMM geometry. */
+    const DimmDecoder &decoder() const { return _decoder; }
+
+    /** Idle-channel read latency for a single beat (row closed). */
+    Tick idleReadLatency() const;
+
+    // -- statistics ---------------------------------------------------
+    const MemSourceStats &sourceStats(MemSource s) const
+    {
+        return _stats[std::size_t(s)];
+    }
+    std::uint64_t rowHits() const { return _rowHits.value(); }
+    std::uint64_t rowMisses() const { return _rowMisses.value(); }
+    std::uint64_t beatsServiced() const { return _beats.value(); }
+    std::size_t readQueueSize() const { return _readQ.size(); }
+    std::size_t writeQueueSize() const { return _writeQ.size(); }
+    /** Mean read latency across every source, ns. */
+    double meanReadLatencyNs() const;
+    /** Channel data-bus utilization in [0, 1] since construction. */
+    double busUtilization() const;
+
+  private:
+    struct Parent
+    {
+        MemRequestPtr req;
+        std::uint32_t beatsLeft;
+        Tick lastDone = 0;
+    };
+    using ParentPtr = std::shared_ptr<Parent>;
+
+    struct Beat
+    {
+        ParentPtr parent;
+        DramAddress da;
+        Addr lineAddr;
+        bool write;
+        Tick ready; ///< earliest schedulable tick (frontend applied)
+    };
+
+    struct BankState
+    {
+        bool rowOpen = false;
+        std::uint64_t openRow = 0;
+        /**
+         * Earliest tick the next column command (CAS) may issue to
+         * this bank; successive hits to an open row pipeline at tCCD
+         * while their data bursts stream on the shared bus.
+         */
+        Tick nextCasAt = 0;
+    };
+
+    const DramTiming _timing;
+    const DramGeometry _geo;
+    const MemCtrlConfig _cfg;
+    DimmDecoder _decoder;
+
+    std::vector<BankState> _banks; ///< [rank * banksPerDevice + bank]
+    Tick _busReady = 0;
+    Tick _busBusyTicks = 0; ///< accumulated bus occupancy
+    std::deque<Beat> _readQ;
+    std::deque<Beat> _writeQ;
+    bool _draining = false;
+    bool _serviceScheduled = false;
+
+    TraceHook _trace;
+    std::vector<MemSourceStats> _stats;
+    stats::Scalar _rowHits;
+    stats::Scalar _rowMisses;
+    stats::Scalar _beats;
+
+    BankState &bank(const DramAddress &da);
+    void scheduleService(Tick when);
+    void service();
+    /** Pick the next beat to issue; returns false if nothing ready. */
+    bool pickBeat(Beat &out);
+    void issueBeat(const Beat &beat);
+    void finishBeat(const Beat &beat, Tick done);
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_MEM_MEMORYCONTROLLER_HH

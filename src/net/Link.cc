@@ -1,0 +1,59 @@
+#include "net/Link.hh"
+
+#include <algorithm>
+
+namespace netdimm
+{
+
+EthLink::EthLink(EventQueue &eq, std::string name, const EthConfig &cfg)
+    : SimObject(eq, std::move(name)), _cfg(cfg)
+{
+}
+
+void
+EthLink::connect(NetEndpoint *a, NetEndpoint *b)
+{
+    ND_ASSERT(a && b);
+    _endA = a;
+    _endB = b;
+}
+
+Tick
+EthLink::frameTicks(std::uint32_t bytes) const
+{
+    std::uint32_t frame =
+        std::max(bytes, _cfg.minFrameBytes) + _cfg.framingBytes;
+    return serializationTicks(frame, _cfg.gbps);
+}
+
+void
+EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
+{
+    ND_ASSERT(_endA && _endB);
+    ND_ASSERT(from == _endA || from == _endB);
+    int dir = (from == _endA) ? 0 : 1;
+    NetEndpoint *to = (from == _endA) ? _endB : _endA;
+
+    Tick start = std::max(curTick(), _txFree[dir]);
+    Tick ser = frameTicks(pkt->bytes);
+    _txFree[dir] = start + ser;
+
+    Tick arrival = start + ser + _cfg.propagation + _cfg.macLatency;
+    pkt->lat.add(LatComp::Wire, arrival - curTick());
+
+    _frames.inc();
+    _bytes.inc(pkt->bytes);
+
+    eventq().schedule(arrival, [to, pkt] { to->deliver(pkt); });
+}
+
+double
+EthLink::goodputGbps() const
+{
+    Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    return double(_bytes.value()) * 8.0 / ticksToSec(now) / 1e9;
+}
+
+} // namespace netdimm

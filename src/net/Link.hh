@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Point-to-point full-duplex Ethernet link model.
+ *
+ * Each direction serializes frames at the configured line rate
+ * (payload + framing overhead: preamble, SFD, FCS, inter-frame gap),
+ * then adds cable propagation and the receiver's MAC/PHY pipeline.
+ * Per-direction transmit occupancy provides store-and-forward
+ * back-pressure-free bandwidth limiting.
+ */
+
+#ifndef NETDIMM_NET_LINK_HH
+#define NETDIMM_NET_LINK_HH
+
+#include <functional>
+
+#include "net/Packet.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+/** Anything that can sink packets off a link: NICs and switches. */
+class NetEndpoint
+{
+  public:
+    virtual ~NetEndpoint() = default;
+    /** A frame's last bit has arrived at this endpoint. */
+    virtual void deliver(const PacketPtr &pkt) = 0;
+};
+
+class EthLink : public SimObject
+{
+  public:
+    EthLink(EventQueue &eq, std::string name, const EthConfig &cfg);
+
+    /** Wire both ends. Must be called before send(). */
+    void connect(NetEndpoint *a, NetEndpoint *b);
+
+    /**
+     * Transmit @p pkt from endpoint @p from to the opposite end.
+     * Serialization + propagation + MAC time is attributed to the
+     * packet's Wire latency component.
+     */
+    void send(NetEndpoint *from, const PacketPtr &pkt);
+
+    /** Serialization time of one frame carrying @p bytes payload. */
+    Tick frameTicks(std::uint32_t bytes) const;
+
+    std::uint64_t framesCarried() const { return _frames.value(); }
+    std::uint64_t bytesCarried() const { return _bytes.value(); }
+
+    /** Achieved goodput since construction, Gbps. */
+    double goodputGbps() const;
+
+  private:
+    const EthConfig _cfg;
+    NetEndpoint *_endA = nullptr;
+    NetEndpoint *_endB = nullptr;
+    /** Per-direction transmitter-free times: [0]=A->B, [1]=B->A. */
+    Tick _txFree[2] = {0, 0};
+
+    stats::Scalar _frames;
+    stats::Scalar _bytes;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_NET_LINK_HH

@@ -1,0 +1,32 @@
+#include "net/Packet.hh"
+
+namespace netdimm
+{
+
+const char *
+latCompName(LatComp c)
+{
+    switch (c) {
+      case LatComp::TxCopy:
+        return "txCopy";
+      case LatComp::TxFlush:
+        return "txFlush";
+      case LatComp::IoReg:
+        return "I/O reg acc";
+      case LatComp::TxDma:
+        return "txDMA";
+      case LatComp::Wire:
+        return "wire";
+      case LatComp::RxDma:
+        return "rxDMA";
+      case LatComp::RxInvalidate:
+        return "rxInvalidate";
+      case LatComp::RxCopy:
+        return "rxCopy";
+      case LatComp::NumComps:
+        break;
+    }
+    return "?";
+}
+
+} // namespace netdimm

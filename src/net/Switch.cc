@@ -1,0 +1,115 @@
+#include "net/Switch.hh"
+
+namespace netdimm
+{
+
+Switch::Switch(EventQueue &eq, std::string name, Tick port_latency)
+    : SimObject(eq, std::move(name)), _portLatency(port_latency)
+{
+}
+
+void
+Switch::addRoute(std::uint32_t node_id, EthLink *out)
+{
+    ND_ASSERT(out);
+    _routes[node_id] = out;
+}
+
+void
+Switch::deliver(const PacketPtr &pkt)
+{
+    EthLink *out = _defaultRoute;
+    auto it = _routes.find(pkt->dstNode);
+    if (it != _routes.end())
+        out = it->second;
+    if (!out)
+        panic("%s: no route for node %u", name().c_str(), pkt->dstNode);
+
+    _frames.inc();
+    pkt->lat.add(LatComp::Wire, _portLatency);
+    EthLink *link = out;
+    scheduleRel(_portLatency, [this, link, pkt] { link->send(this, pkt); });
+}
+
+std::uint32_t
+localityHops(TrafficLocality loc)
+{
+    switch (loc) {
+      case TrafficLocality::IntraRack:
+        return 1;
+      case TrafficLocality::IntraCluster:
+        return 3;
+      case TrafficLocality::IntraDatacenter:
+        return 5;
+      case TrafficLocality::InterDatacenter:
+        return 7;
+    }
+    return 1;
+}
+
+Tick
+localityPropagation(TrafficLocality loc)
+{
+    switch (loc) {
+      case TrafficLocality::IntraRack:
+        return nsToTicks(25);
+      case TrafficLocality::IntraCluster:
+        return nsToTicks(150);
+      case TrafficLocality::IntraDatacenter:
+        return nsToTicks(600);
+      case TrafficLocality::InterDatacenter:
+        // Campus-scale DC pair (a metro pair would add tens of
+        // microseconds and drown every endpoint effect).
+        return usToTicks(1.5);
+    }
+    return 0;
+}
+
+ClosFabric::ClosFabric(EventQueue &eq, std::string name,
+                       const EthConfig &cfg)
+    : SimObject(eq, std::move(name)), _cfg(cfg)
+{
+}
+
+void
+ClosFabric::attach(std::uint32_t node_id, NetEndpoint *ep)
+{
+    ND_ASSERT(ep);
+    _eps[node_id] = ep;
+}
+
+Tick
+ClosFabric::pathDelay(std::uint32_t bytes, TrafficLocality loc) const
+{
+    std::uint32_t hops = localityHops(loc);
+    std::uint32_t frame =
+        std::max(bytes, _cfg.minFrameBytes) + _cfg.framingBytes;
+    // Store-and-forward: every hop re-serializes the frame and adds
+    // its port-to-port latency.
+    Tick per_hop =
+        serializationTicks(frame, _cfg.gbps) + _cfg.switchLatency;
+    return Tick(hops) * per_hop + localityPropagation(loc) +
+           _cfg.macLatency;
+}
+
+void
+ClosFabric::forward(const PacketPtr &pkt, TrafficLocality loc)
+{
+    auto it = _eps.find(pkt->dstNode);
+    if (it == _eps.end())
+        panic("%s: unattached node %u", name().c_str(), pkt->dstNode);
+    NetEndpoint *ep = it->second;
+
+    Tick delay = pathDelay(pkt->bytes, loc);
+    pkt->lat.add(LatComp::Wire, delay);
+    _frames.inc();
+    scheduleRel(delay, [ep, pkt] { ep->deliver(pkt); });
+}
+
+void
+ClosFabric::deliver(const PacketPtr &pkt)
+{
+    forward(pkt, _defaultLoc);
+}
+
+} // namespace netdimm

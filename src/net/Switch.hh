@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Store-and-forward Ethernet switch with a destination-node routing
+ * table, plus a clos-fabric builder used by the datacenter trace
+ * replay (Sec. 5.1: dist-gem5-style switch model, Fig. 12).
+ */
+
+#ifndef NETDIMM_NET_SWITCH_HH
+#define NETDIMM_NET_SWITCH_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/Link.hh"
+
+namespace netdimm
+{
+
+/**
+ * An output-queued switch. A frame arriving on any port is looked up
+ * by destination node id, delayed by the port-to-port latency, and
+ * transmitted on the owning output link (which serializes it).
+ */
+class Switch : public SimObject, public NetEndpoint
+{
+  public:
+    Switch(EventQueue &eq, std::string name, Tick port_latency);
+
+    /** Frames destined to @p node_id leave through @p out. */
+    void addRoute(std::uint32_t node_id, EthLink *out);
+
+    /** Frames with unknown destinations leave through @p out. */
+    void setDefaultRoute(EthLink *out) { _defaultRoute = out; }
+
+    void deliver(const PacketPtr &pkt) override;
+
+    std::uint64_t framesForwarded() const { return _frames.value(); }
+
+  private:
+    Tick _portLatency;
+    std::map<std::uint32_t, EthLink *> _routes;
+    EthLink *_defaultRoute = nullptr;
+    stats::Scalar _frames;
+};
+
+/**
+ * Traffic locality classes of the Facebook clusters (Sec. 5.1). They
+ * determine how many switch hops a packet traverses in the clos
+ * topology: rack-local traffic crosses one ToR; intra-cluster traffic
+ * crosses ToR-fabric-ToR; intra-datacenter (inter-cluster) traffic
+ * additionally crosses the spine; inter-datacenter traffic adds the
+ * DC boundary routers and long-haul propagation.
+ */
+enum class TrafficLocality : std::uint8_t
+{
+    IntraRack,      ///< 1 hop
+    IntraCluster,   ///< 3 hops (ToR, fabric, ToR)
+    IntraDatacenter, ///< 5 hops (ToR, fabric, spine, fabric, ToR)
+    InterDatacenter, ///< 7 hops + long-haul propagation
+};
+
+/** @return switch hop count for a locality class. */
+std::uint32_t localityHops(TrafficLocality loc);
+
+/** @return extra one-way propagation for a locality class. */
+Tick localityPropagation(TrafficLocality loc);
+
+/**
+ * Analytic clos fabric between full node models: rather than
+ * instantiating every ToR/fabric/spine switch of the datacenter, the
+ * per-packet fabric delay is computed from the hop count of its
+ * locality class. Endpoint NIC/driver behaviour — the subject of the
+ * paper — is still fully simulated on both ends.
+ */
+class ClosFabric : public SimObject, public NetEndpoint
+{
+  public:
+    ClosFabric(EventQueue &eq, std::string name, const EthConfig &cfg);
+
+    /** Register the endpoint for @p node_id. */
+    void attach(std::uint32_t node_id, NetEndpoint *ep);
+
+    /**
+     * Fabric traversal for @p pkt whose locality is @p loc; delivery
+     * is scheduled at the destination endpoint.
+     */
+    void forward(const PacketPtr &pkt, TrafficLocality loc);
+
+    /** NetEndpoint entry: forwards using the packet's fabricHops. */
+    void deliver(const PacketPtr &pkt) override;
+
+    /** Per-packet locality override used by deliver(). */
+    void setDefaultLocality(TrafficLocality loc) { _defaultLoc = loc; }
+
+    /** One-way fabric delay for a payload of @p bytes at @p loc. */
+    Tick pathDelay(std::uint32_t bytes, TrafficLocality loc) const;
+
+  private:
+    const EthConfig _cfg;
+    std::map<std::uint32_t, NetEndpoint *> _eps;
+    TrafficLocality _defaultLoc = TrafficLocality::IntraCluster;
+    stats::Scalar _frames;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_NET_SWITCH_HH

@@ -1,0 +1,85 @@
+#include "net/Topology.hh"
+
+namespace netdimm
+{
+
+LeafSpineTopology::LeafSpineTopology(EventQueue &eq, std::string name,
+                                     std::uint32_t leaves,
+                                     std::uint32_t spines,
+                                     const EthConfig &cfg)
+    : SimObject(eq, std::move(name)), _cfg(cfg)
+{
+    ND_ASSERT(leaves > 0 && spines > 0);
+    for (std::uint32_t l = 0; l < leaves; ++l) {
+        _leaves.push_back(std::make_unique<Switch>(
+            eq, this->name() + ".leaf" + std::to_string(l),
+            cfg.switchLatency));
+    }
+    for (std::uint32_t s = 0; s < spines; ++s) {
+        _spines.push_back(std::make_unique<Switch>(
+            eq, this->name() + ".spine" + std::to_string(s),
+            cfg.switchLatency));
+    }
+    _up.resize(leaves);
+    for (std::uint32_t l = 0; l < leaves; ++l) {
+        for (std::uint32_t s = 0; s < spines; ++s) {
+            auto link = std::make_unique<EthLink>(
+                eq,
+                this->name() + ".up" + std::to_string(l) + "_" +
+                    std::to_string(s),
+                cfg);
+            link->connect(_leaves[l].get(), _spines[s].get());
+            _up[l].push_back(std::move(link));
+        }
+    }
+}
+
+EthLink &
+LeafSpineTopology::attach(std::uint32_t node_id, std::uint32_t leaf,
+                          NetEndpoint *ep)
+{
+    ND_ASSERT(leaf < _leaves.size());
+    ND_ASSERT(ep);
+    auto link = std::make_unique<EthLink>(
+        eventq(), name() + ".access" + std::to_string(node_id), _cfg);
+    link->connect(_leaves[leaf].get(), ep);
+    EthLink *access = link.get();
+    _access.push_back(std::move(link));
+
+    installRoutes(node_id, leaf, access);
+    _attachments.push_back({node_id, leaf});
+    return *access;
+}
+
+void
+LeafSpineTopology::installRoutes(std::uint32_t node_id,
+                                 std::uint32_t leaf, EthLink *access)
+{
+    // The owning leaf delivers locally.
+    _leaves[leaf]->addRoute(node_id, access);
+
+    // Every spine reaches the node via its link to the owning leaf.
+    for (std::uint32_t s = 0; s < _spines.size(); ++s)
+        _spines[s]->addRoute(node_id, _up[leaf][s].get());
+
+    // Every other leaf sends up to the ECMP-chosen spine.
+    std::uint32_t spine = node_id % std::uint32_t(_spines.size());
+    for (std::uint32_t l = 0; l < _leaves.size(); ++l) {
+        if (l == leaf)
+            continue;
+        _leaves[l]->addRoute(node_id, _up[l][spine].get());
+    }
+}
+
+std::uint64_t
+LeafSpineTopology::fabricFrames() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : _leaves)
+        total += sw->framesForwarded();
+    for (const auto &sw : _spines)
+        total += sw->framesForwarded();
+    return total;
+}
+
+} // namespace netdimm

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Switched topology builder: a two-tier leaf-spine (folded clos)
+ * fabric made of real Switch and EthLink instances, the structure the
+ * paper's dist-gem5 switch model simulates (Sec. 5.1).
+ *
+ * Nodes attach to leaves (top-of-rack switches); every leaf connects
+ * to every spine. Rack-local frames cross one switch; others cross
+ * leaf -> spine -> leaf (three store-and-forward hops). Spine choice
+ * is a deterministic hash of the (src, dst) pair, modelling ECMP.
+ */
+
+#ifndef NETDIMM_NET_TOPOLOGY_HH
+#define NETDIMM_NET_TOPOLOGY_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/Switch.hh"
+
+namespace netdimm
+{
+
+class LeafSpineTopology : public SimObject
+{
+  public:
+    /**
+     * @param leaves number of ToR switches.
+     * @param spines number of spine switches.
+     * @param cfg link/switch parameters (rate, latencies).
+     */
+    LeafSpineTopology(EventQueue &eq, std::string name,
+                      std::uint32_t leaves, std::uint32_t spines,
+                      const EthConfig &cfg);
+
+    /**
+     * Attach endpoint @p ep as @p node_id on rack @p leaf.
+     * @return the access link; wire the node's TX at it.
+     */
+    EthLink &attach(std::uint32_t node_id, std::uint32_t leaf,
+                    NetEndpoint *ep);
+
+    Switch &leaf(std::uint32_t i) { return *_leaves.at(i); }
+    Switch &spine(std::uint32_t i) { return *_spines.at(i); }
+    std::uint32_t numLeaves() const
+    {
+        return std::uint32_t(_leaves.size());
+    }
+    std::uint32_t numSpines() const
+    {
+        return std::uint32_t(_spines.size());
+    }
+
+    /** Total frames forwarded across every switch. */
+    std::uint64_t fabricFrames() const;
+
+  private:
+    const EthConfig _cfg;
+    std::vector<std::unique_ptr<Switch>> _leaves;
+    std::vector<std::unique_ptr<Switch>> _spines;
+    /** _up[l][s]: link between leaf l and spine s. */
+    std::vector<std::vector<std::unique_ptr<EthLink>>> _up;
+    std::vector<std::unique_ptr<EthLink>> _access;
+
+    struct Attachment
+    {
+        std::uint32_t nodeId;
+        std::uint32_t leaf;
+    };
+    std::vector<Attachment> _attachments;
+
+    /** Re-announce routes after a new attachment. */
+    void installRoutes(std::uint32_t node_id, std::uint32_t leaf,
+                       EthLink *access);
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_NET_TOPOLOGY_HH

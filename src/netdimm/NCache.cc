@@ -1,0 +1,112 @@
+#include "netdimm/NCache.hh"
+
+namespace netdimm
+{
+
+NCache::NCache(const NetDimmConfig &cfg, std::uint64_t seed)
+    : _assoc(cfg.nCacheAssoc), _rng(seed)
+{
+    ND_ASSERT(cfg.nCacheBytes > 0 && cfg.nCacheAssoc > 0);
+    _sets = std::uint32_t(cfg.nCacheBytes / cachelineBytes / _assoc);
+    ND_ASSERT(_sets > 0);
+    _lines.resize(std::size_t(_sets) * _assoc);
+}
+
+std::uint32_t
+NCache::setIndex(Addr addr) const
+{
+    return std::uint32_t((addr / cachelineBytes) % _sets);
+}
+
+NCache::Line *
+NCache::find(Addr addr)
+{
+    Addr tag = addr / cachelineBytes;
+    std::uint32_t set = setIndex(addr);
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        Line &l = _lines[std::size_t(set) * _assoc + w];
+        if (l.valid && l.tag == tag)
+            return &l;
+    }
+    return nullptr;
+}
+
+const NCache::Line *
+NCache::find(Addr addr) const
+{
+    return const_cast<NCache *>(this)->find(addr);
+}
+
+NCache::ReadResult
+NCache::consume(Addr addr)
+{
+    ReadResult r;
+    Line *l = find(addr);
+    if (!l) {
+        _misses.inc();
+        return r;
+    }
+    _hits.inc();
+    r.hit = true;
+    r.wasHeader = l->header;
+    // Read-once: the host has the data now; it will not re-read this
+    // RX buffer address, so keeping the line has no value.
+    l->valid = false;
+    l->header = false;
+    return r;
+}
+
+bool
+NCache::probe(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+void
+NCache::insert(Addr addr, bool is_header)
+{
+    Addr tag = addr / cachelineBytes;
+    std::uint32_t set = setIndex(addr);
+
+    // Re-insert over an existing copy.
+    if (Line *l = find(addr)) {
+        l->header = is_header;
+        _inserts.inc();
+        return;
+    }
+
+    // Free way, else a random victim (all lines are clean).
+    Line *slot = nullptr;
+    for (std::uint32_t w = 0; w < _assoc; ++w) {
+        Line &l = _lines[std::size_t(set) * _assoc + w];
+        if (!l.valid) {
+            slot = &l;
+            break;
+        }
+    }
+    if (!slot) {
+        std::uint32_t w =
+            std::uint32_t(_rng.uniformInt(0, _assoc - 1));
+        slot = &_lines[std::size_t(set) * _assoc + w];
+        _evictions.inc();
+    }
+    slot->valid = true;
+    slot->tag = tag;
+    slot->header = is_header;
+    _inserts.inc();
+}
+
+void
+NCache::invalidate(Addr addr, std::uint32_t size)
+{
+    Addr first = addr & ~Addr(cachelineBytes - 1);
+    Addr last = (addr + size - 1) & ~Addr(cachelineBytes - 1);
+    for (Addr a = first; a <= last; a += cachelineBytes) {
+        if (Line *l = find(a)) {
+            l->valid = false;
+            l->header = false;
+        }
+    }
+}
+
+} // namespace netdimm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * nCache: the buffer-device SRAM cache of NetDIMM (Sec. 4.1).
+ *
+ * nCache is an inclusive set-associative structure with unusual
+ * semantics tuned for RX packet data:
+ *
+ *  - Lines are *consumed* on read: once the host fetches a line it is
+ *    dropped, because an RX buffer address is essentially never
+ *    re-read (the data moved into the host cache or was cloned away).
+ *  - Replacement within a full set is random; every line is clean by
+ *    construction (only nController inserts, on its own writes), so
+ *    eviction never writes back.
+ *  - Each line carries a one-bit header flag, set when the line is
+ *    the first cacheline of a newly received packet. nPrefetcher
+ *    skips prefetching behind flagged lines (headers are often the
+ *    only part the host ever reads); the flag resets at first access.
+ *  - nController snoops writes from the host PHY and from nNIC and
+ *    invalidates matching lines to stay coherent with the local DRAM.
+ */
+
+#ifndef NETDIMM_NETDIMM_NCACHE_HH
+#define NETDIMM_NETDIMM_NCACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/MemRequest.hh"
+#include "sim/Random.hh"
+#include "sim/Stats.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+class NCache
+{
+  public:
+    /** Result of a host-side read probe. */
+    struct ReadResult
+    {
+        bool hit = false;
+        /** Header flag state *before* the access (pre-reset). */
+        bool wasHeader = false;
+    };
+
+    NCache(const NetDimmConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Host read of the line containing @p addr: on a hit the line is
+     * consumed (read-once semantics) and its header flag returned.
+     */
+    ReadResult consume(Addr addr);
+
+    /** Non-destructive residency probe (unit tests / prefetcher). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Install the line containing @p addr.
+     * @param is_header set the header flag (first line of a packet).
+     */
+    void insert(Addr addr, bool is_header);
+
+    /** Snoop a write range: drop any matching lines. */
+    void invalidate(Addr addr, std::uint32_t size);
+
+    std::uint32_t lines() const { return _sets * _assoc; }
+
+    // -- statistics ----------------------------------------------------
+    std::uint64_t hits() const { return _hits.value(); }
+    std::uint64_t misses() const { return _misses.value(); }
+    std::uint64_t inserts() const { return _inserts.value(); }
+    std::uint64_t evictions() const { return _evictions.value(); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool header = false;
+    };
+
+    std::uint32_t _sets;
+    std::uint32_t _assoc;
+    std::vector<Line> _lines;
+    Random _rng;
+
+    stats::Scalar _hits, _misses, _inserts, _evictions;
+
+    std::uint32_t setIndex(Addr addr) const;
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_NETDIMM_NCACHE_HH

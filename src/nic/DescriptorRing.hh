@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Circular descriptor ring bookkeeping (Sec. 2.1).
+ *
+ * Drivers allocate TX/RX rings in host (or NetDIMM-local) memory at
+ * interface initialization; NIC and driver exchange packets through
+ * the ring's produce/consume indices. The simulator models the ring's
+ * addresses (for the memory traffic they cause) and the index
+ * arithmetic; descriptor contents are implicit.
+ */
+
+#ifndef NETDIMM_NIC_DESCRIPTORRING_HH
+#define NETDIMM_NIC_DESCRIPTORRING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/MemRequest.hh"
+#include "sim/Logging.hh"
+
+namespace netdimm
+{
+
+class DescriptorRing
+{
+  public:
+    /** Bytes per descriptor (e1000-style legacy descriptor). */
+    static constexpr std::uint32_t descBytes = 16;
+
+    DescriptorRing() = default;
+
+    /**
+     * @param base address of the ring's descriptor array.
+     * @param entries ring capacity (power of two recommended).
+     */
+    void
+    init(Addr base, std::uint32_t entries)
+    {
+        ND_ASSERT(entries > 1);
+        _base = base;
+        _entries = entries;
+        _bufAddr.assign(entries, 0);
+        _head = _tail = 0;
+    }
+
+    Addr base() const { return _base; }
+    std::uint32_t entries() const { return _entries; }
+
+    /** Address of descriptor @p i in memory. */
+    Addr
+    descAddr(std::uint32_t i) const
+    {
+        return _base + Addr(i % _entries) * descBytes;
+    }
+
+    /** Producer index (next slot to fill). */
+    std::uint32_t tail() const { return _tail; }
+    /** Consumer index (next slot to drain). */
+    std::uint32_t head() const { return _head; }
+
+    bool
+    full() const
+    {
+        return (_tail + 1) % _entries == _head % _entries;
+    }
+
+    bool empty() const { return _head == _tail; }
+
+    std::uint32_t
+    occupancy() const
+    {
+        return (_tail + _entries - _head) % _entries;
+    }
+
+    /**
+     * Producer: claim the next slot and associate @p buf with it.
+     * @return the claimed slot index.
+     */
+    std::uint32_t
+    push(Addr buf)
+    {
+        ND_ASSERT(!full());
+        std::uint32_t slot = _tail % _entries;
+        _bufAddr[slot] = buf;
+        _tail = (_tail + 1) % _entries;
+        return slot;
+    }
+
+    /**
+     * Consumer: drain the next slot.
+     * @return the buffer address associated with the slot.
+     */
+    Addr
+    pop()
+    {
+        ND_ASSERT(!empty());
+        std::uint32_t slot = _head % _entries;
+        _head = (_head + 1) % _entries;
+        return _bufAddr[slot];
+    }
+
+    /** Peek the consumer-side buffer without draining. */
+    Addr
+    peek() const
+    {
+        ND_ASSERT(!empty());
+        return _bufAddr[_head % _entries];
+    }
+
+  private:
+    Addr _base = 0;
+    std::uint32_t _entries = 0;
+    std::uint32_t _head = 0;
+    std::uint32_t _tail = 0;
+    std::vector<Addr> _bufAddr;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_NIC_DESCRIPTORRING_HH

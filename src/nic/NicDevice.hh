@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Abstract NIC device model.
+ *
+ * A NicDevice owns the hardware side of packet TX/RX: reacting to the
+ * driver's doorbell, fetching descriptors and payload via its DMA
+ * path, pushing frames onto the wire, and landing received frames in
+ * host-visible memory. Concrete subclasses differ in *where* the NIC
+ * sits (PCIe endpoint, on-die agent, NetDIMM buffer device) and hence
+ * in the cost of every host interaction.
+ */
+
+#ifndef NETDIMM_NIC_NICDEVICE_HH
+#define NETDIMM_NIC_NICDEVICE_HH
+
+#include <deque>
+#include <functional>
+
+#include "net/Link.hh"
+#include "net/Packet.hh"
+#include "nic/DescriptorRing.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+class NicDevice : public SimObject, public NetEndpoint
+{
+  public:
+    /**
+     * Driver-side notification that a received packet's descriptor
+     * became host visible at the given tick.
+     */
+    using RxNotify = std::function<void(const PacketPtr &, Tick)>;
+    /** Notification that a TX frame left the NIC (ring cleanup). */
+    using TxNotify = std::function<void(const PacketPtr &, Tick)>;
+
+    NicDevice(EventQueue &eq, std::string name, const SystemConfig &cfg)
+        : SimObject(eq, std::move(name)), _cfg(cfg)
+    {}
+
+    /**
+     * The wire attachment: invoked when the NIC starts emitting a
+     * frame. Node wiring points this at an EthLink or a ClosFabric.
+     */
+    void setWire(std::function<void(const PacketPtr &)> wire)
+    {
+        _wire = std::move(wire);
+    }
+
+    void setRxNotify(RxNotify cb) { _rxNotify = std::move(cb); }
+    void setTxNotify(TxNotify cb) { _txNotify = std::move(cb); }
+
+    /**
+     * Driver handed the NIC a filled TX descriptor (doorbell). The
+     * packet's txBufAddr points at the DMA buffer. The model runs
+     * the full hardware TX pipeline and attributes latency into
+     * pkt->lat.
+     */
+    virtual void transmit(const PacketPtr &pkt) = 0;
+
+    /**
+     * Driver replenishes one RX buffer (address of an RX DMA buffer
+     * associated with the next free RX descriptor).
+     */
+    void
+    postRxBuffer(Addr buf)
+    {
+        if (!_rxRing.full())
+            _rxRing.push(buf);
+    }
+
+    /** Wire side: frame arrived (NetEndpoint). */
+    void deliver(const PacketPtr &pkt) override { rxPath(pkt); }
+
+    DescriptorRing &txRing() { return _txRing; }
+    DescriptorRing &rxRing() { return _rxRing; }
+
+    // -- statistics ----------------------------------------------------
+    std::uint64_t txFrames() const { return _txFrames.value(); }
+    std::uint64_t rxFrames() const { return _rxFrames.value(); }
+    std::uint64_t rxDrops() const { return _rxDrops.value(); }
+
+  protected:
+    /** Hardware RX pipeline; ends with notifyDriverRx(). */
+    virtual void rxPath(const PacketPtr &pkt) = 0;
+
+    /** Emit the frame onto the attached wire. */
+    void
+    sendToWire(const PacketPtr &pkt)
+    {
+        ND_ASSERT(_wire);
+        _txFrames.inc();
+        _wire(pkt);
+        // TX descriptor cleanup ("clean TX buffers after a
+        // successful transmission"); the driver-side work is folded
+        // into its per-packet cycles.
+        if (!_txRing.empty())
+            _txRing.pop();
+        if (_txNotify)
+            _txNotify(pkt, curTick());
+    }
+
+    void
+    notifyDriverRx(const PacketPtr &pkt, Tick visible)
+    {
+        _rxFrames.inc();
+        if (_rxNotify)
+            _rxNotify(pkt, visible);
+    }
+
+    void dropRx(const PacketPtr &) { _rxDrops.inc(); }
+
+    const SystemConfig &_cfg;
+    DescriptorRing _txRing;
+    DescriptorRing _rxRing;
+
+  private:
+    std::function<void(const PacketPtr &)> _wire;
+    RxNotify _rxNotify;
+    TxNotify _txNotify;
+    stats::Scalar _txFrames, _rxFrames, _rxDrops;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_NIC_NICDEVICE_HH

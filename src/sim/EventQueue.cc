@@ -1,0 +1,63 @@
+#include "sim/EventQueue.hh"
+
+namespace netdimm
+{
+
+std::uint64_t
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    if (when < _curTick)
+        panic("scheduling event in the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)_curTick);
+    std::uint64_t seq = _nextSeq++;
+    _queue.push(Entry{when, static_cast<int>(prio), seq, std::move(cb)});
+    _pending.insert(seq);
+    return seq;
+}
+
+void
+EventQueue::deschedule(std::uint64_t handle)
+{
+    // Lazy deletion: remove the handle from the pending set; the heap
+    // entry is skipped when it reaches the top.
+    _pending.erase(handle);
+}
+
+void
+EventQueue::skipDead()
+{
+    while (!_queue.empty() && !_pending.count(_queue.top().seq))
+        _queue.pop();
+}
+
+bool
+EventQueue::step()
+{
+    skipDead();
+    if (_queue.empty())
+        return false;
+    Entry e = _queue.top();
+    _queue.pop();
+    _pending.erase(e.seq);
+    _curTick = e.when;
+    ++_executed;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t n = 0;
+    for (;;) {
+        skipDead();
+        if (_queue.empty() || _queue.top().when > limit)
+            break;
+        if (!step())
+            break;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace netdimm

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, insertion
+ * sequence). Components schedule lambdas; the queue advances simulated
+ * time to the next event's timestamp and invokes it. Determinism is
+ * guaranteed by the total ordering: two events at the same tick and
+ * priority run in insertion order.
+ */
+
+#ifndef NETDIMM_SIM_EVENTQUEUE_HH
+#define NETDIMM_SIM_EVENTQUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/Logging.hh"
+#include "sim/Ticks.hh"
+
+namespace netdimm
+{
+
+/** Relative ordering of events scheduled for the same tick. */
+enum class EventPriority : int
+{
+    /** DRAM / link state maintenance runs before consumers. */
+    Maintenance = 0,
+    /** Default priority for most component events. */
+    Default = 10,
+    /** Statistic sampling runs after the tick's functional events. */
+    Stats = 20,
+};
+
+/**
+ * A time-ordered queue of callbacks driving the simulation.
+ *
+ * The queue is not thread safe; a simulation is a single-threaded
+ * deterministic run.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when absolute tick, must be >= curTick().
+     * @param cb callback to invoke.
+     * @param prio same-tick ordering class.
+     * @return a handle usable with deschedule().
+     */
+    std::uint64_t schedule(Tick when, Callback cb,
+                           EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    std::uint64_t
+    scheduleRel(Tick delta, Callback cb,
+                EventPriority prio = EventPriority::Default)
+    {
+        return schedule(_curTick + delta, std::move(cb), prio);
+    }
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that
+     * already ran (or was already cancelled) is a harmless no-op.
+     */
+    void deschedule(std::uint64_t handle);
+
+    /** @return true when no events remain pending. */
+    bool empty() const { return _pending.empty(); }
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pendingEvents() const { return _pending.size(); }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     *
+     * @param limit stop once the next event is strictly after this
+     *              tick; the clock is left at the last executed
+     *              event's time.
+     * @return number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /**
+     * Run exactly one event if any is pending.
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
+    /** Handles scheduled but neither executed nor cancelled yet. */
+    std::unordered_set<std::uint64_t> _pending;
+    Tick _curTick = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _executed = 0;
+
+    /** Drop cancelled entries off the top of the heap. */
+    void skipDead();
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_SIM_EVENTQUEUE_HH

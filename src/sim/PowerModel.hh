@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Energy/power accounting supporting the paper's Sec. 4.3 physical
+ * feasibility argument: an IBM Centaur-class buffer device has a 20W
+ * TDP while a dual-port 40GbE controller (Intel XXV710) needs 6.5W,
+ * so a NIC fits a DIMM buffer device's envelope.
+ *
+ * The model is event-based: components report countable activity
+ * (TLPs, DRAM beats, SRAM references, clone rows, wire bits, CPU
+ * cycles) and the table below converts them to energy. Constants are
+ * order-of-magnitude literature values (DDR4 ~20-30 pJ/bit end to
+ * end, PCIe ~5-10 pJ/bit, 40GbE PHY ~10 pJ/bit, RowClone FPM saves
+ * ~3x over read+write) -- adequate for the comparative statement the
+ * paper makes, not for sign-off.
+ */
+
+#ifndef NETDIMM_SIM_POWERMODEL_HH
+#define NETDIMM_SIM_POWERMODEL_HH
+
+#include <cstdint>
+
+namespace netdimm
+{
+
+/** Energy constants, picojoules. */
+struct EnergyParams
+{
+    /** DRAM access energy per 64B beat (activate share included). */
+    double dramBeatPj = 64 * 8 * 25.0; // 25 pJ/bit
+    /** Host channel / DQ transfer per 64B beat. */
+    double channelBeatPj = 64 * 8 * 8.0;
+    /** PCIe energy per transferred byte (framing included). */
+    double pciePerBytePj = 8 * 6.0; // 6 pJ/bit
+    /** LLC/SRAM reference per 64B line. */
+    double sramLinePj = 64 * 8 * 1.2;
+    /** RowClone FPM per 1KB row pair (two activations, no I/O). */
+    double fpmRowPj = 2 * 1024 * 8 * 4.0;
+    /** PSM/GCM per 64B line (internal bus transfer). */
+    double cloneLinePj = 64 * 8 * 10.0;
+    /** Ethernet PHY per byte on the wire. */
+    double wirePerBytePj = 8 * 10.0;
+    /** CPU core energy per cycle of driver work. */
+    double cpuCyclePj = 350.0;
+
+    /** Static (leakage + idle) power of the NIC silicon, watts. */
+    double nicStaticW = 2.0;
+};
+
+/** Accumulated per-run energy, reported by EnergyAccount. */
+class EnergyAccount
+{
+  public:
+    explicit EnergyAccount(const EnergyParams &p = EnergyParams{})
+        : _p(p)
+    {}
+
+    void dramBeats(std::uint64_t n) { _dramPj += double(n) * _p.dramBeatPj; }
+    void channelBeats(std::uint64_t n)
+    {
+        _channelPj += double(n) * _p.channelBeatPj;
+    }
+    void pcieBytes(std::uint64_t n)
+    {
+        _pciePj += double(n) * _p.pciePerBytePj;
+    }
+    void sramLines(std::uint64_t n)
+    {
+        _sramPj += double(n) * _p.sramLinePj;
+    }
+    void fpmRows(std::uint64_t n) { _clonePj += double(n) * _p.fpmRowPj; }
+    void cloneLines(std::uint64_t n)
+    {
+        _clonePj += double(n) * _p.cloneLinePj;
+    }
+    void wireBytes(std::uint64_t n)
+    {
+        _wirePj += double(n) * _p.wirePerBytePj;
+    }
+    void cpuCycles(std::uint64_t n)
+    {
+        _cpuPj += double(n) * _p.cpuCyclePj;
+    }
+
+    double dramPj() const { return _dramPj; }
+    double channelPj() const { return _channelPj; }
+    double pciePj() const { return _pciePj; }
+    double sramPj() const { return _sramPj; }
+    double clonePj() const { return _clonePj; }
+    double wirePj() const { return _wirePj; }
+    double cpuPj() const { return _cpuPj; }
+
+    double
+    totalPj() const
+    {
+        return _dramPj + _channelPj + _pciePj + _sramPj + _clonePj +
+               _wirePj + _cpuPj;
+    }
+
+    /** Average dynamic power over @p seconds, watts. */
+    double
+    averageWatts(double seconds) const
+    {
+        return seconds > 0.0 ? totalPj() * 1e-12 / seconds : 0.0;
+    }
+
+    const EnergyParams &params() const { return _p; }
+
+  private:
+    EnergyParams _p;
+    double _dramPj = 0, _channelPj = 0, _pciePj = 0, _sramPj = 0,
+           _clonePj = 0, _wirePj = 0, _cpuPj = 0;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_SIM_POWERMODEL_HH

@@ -1,0 +1,19 @@
+#include "sim/Random.hh"
+
+#include <cmath>
+
+namespace netdimm
+{
+
+double
+Random::exponential(double mean)
+{
+    ND_ASSERT(mean > 0.0);
+    double u = uniformDouble();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 1e-18;
+    return -mean * std::log(u);
+}
+
+} // namespace netdimm

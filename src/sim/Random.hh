@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (PCG32).
+ *
+ * All stochastic behaviour in the simulator (trace synthesis, cache
+ * replacement, jitter) draws from explicitly seeded Random instances
+ * so every run is reproducible bit-for-bit.
+ */
+
+#ifndef NETDIMM_SIM_RANDOM_HH
+#define NETDIMM_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/Logging.hh"
+
+namespace netdimm
+{
+
+/** A PCG32 generator (O'Neill 2014), 64-bit state, 32-bit output. */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x853c49e6748fea9bull,
+                    std::uint64_t stream = 0xda3e39cb94b95bdbull)
+    {
+        _state = 0;
+        _inc = (stream << 1u) | 1u;
+        next32();
+        _state += seed;
+        next32();
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    next32()
+    {
+        std::uint64_t old = _state;
+        _state = old * 6364136223846793005ull + _inc;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** Uniform 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        return (std::uint64_t(next32()) << 32) | next32();
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        ND_ASSERT(lo <= hi);
+        std::uint64_t range = hi - lo + 1;
+        if (range == 0)
+            return next64(); // full 64-bit range
+        // Debiased modulo via rejection.
+        std::uint64_t threshold = (-range) % range;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return lo + (r % range);
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformDouble()
+    {
+        return double(next64() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniformDouble() < p;
+    }
+
+    /**
+     * Sample an index from a discrete distribution given by
+     * non-negative @p weights. Weights need not be normalized.
+     */
+    std::size_t
+    discrete(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        ND_ASSERT(total > 0.0);
+        double r = uniformDouble() * total;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            acc += weights[i];
+            if (r < acc)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Exponentially distributed value with mean @p mean. */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t _state;
+    std::uint64_t _inc;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_SIM_RANDOM_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Base class for named simulation components.
+ */
+
+#ifndef NETDIMM_SIM_SIMOBJECT_HH
+#define NETDIMM_SIM_SIMOBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/EventQueue.hh"
+
+namespace netdimm
+{
+
+/**
+ * A named component bound to an event queue. SimObjects are owned by
+ * the System/Node that constructs them; they never own each other and
+ * refer to peers through non-owning pointers or references wired at
+ * construction time.
+ */
+class SimObject
+{
+  public:
+    SimObject(EventQueue &eq, std::string name)
+        : _eq(eq), _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name, e.g. "node0.netdimm.ncache". */
+    const std::string &name() const { return _name; }
+
+    /** The event queue this object schedules on. */
+    EventQueue &eventq() { return _eq; }
+    const EventQueue &eventq() const { return _eq; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return _eq.curTick(); }
+
+  protected:
+    /** Schedule a member callback @p delta ticks from now. */
+    std::uint64_t
+    scheduleRel(Tick delta, EventQueue::Callback cb,
+                EventPriority prio = EventPriority::Default)
+    {
+        return _eq.scheduleRel(delta, std::move(cb), prio);
+    }
+
+  private:
+    EventQueue &_eq;
+    std::string _name;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_SIM_SIMOBJECT_HH

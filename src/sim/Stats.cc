@@ -1,0 +1,36 @@
+#include "sim/Stats.hh"
+
+#include <iomanip>
+
+namespace netdimm::stats
+{
+
+double
+Quantile::percentile(double q) const
+{
+    ND_ASSERT(q >= 0.0 && q <= 1.0);
+    if (_samples.empty())
+        return 0.0;
+    std::sort(_samples.begin(), _samples.end());
+    double pos = q * double(_samples.size() - 1);
+    auto lo = std::size_t(pos);
+    auto hi = std::min(lo + 1, _samples.size() - 1);
+    double frac = pos - double(lo);
+    return _samples[lo] * (1.0 - frac) + _samples[hi] * frac;
+}
+
+void
+StatGroup::print(std::ostream &os) const
+{
+    os << "---- " << _name << " ----\n";
+    for (const auto &r : _rows) {
+        os << "  " << std::left << std::setw(40) << r.key << std::right
+           << std::setw(16) << std::fixed << std::setprecision(3)
+           << r.value;
+        if (!r.unit.empty())
+            os << " " << r.unit;
+        os << "\n";
+    }
+}
+
+} // namespace netdimm::stats

@@ -1,0 +1,60 @@
+#include "workload/IperfFlow.hh"
+
+namespace netdimm
+{
+
+IperfFlow::IperfFlow(EventQueue &eq, std::string name, Node &sender,
+                     Node &receiver, std::uint32_t segment_bytes,
+                     std::uint32_t window, std::uint32_t parallel)
+    : SimObject(eq, std::move(name)), _sender(sender),
+      _receiver(receiver), _segBytes(segment_bytes), _window(window),
+      _parallel(std::max(parallel, 1u))
+{
+    // Data path: receiver counts segments and returns an ACK on the
+    // mirrored flow id.
+    _receiver.setReceiveHandler(
+        [this](const PacketPtr &pkt, Tick) {
+            if (!_running)
+                return;
+            _bytes.inc(pkt->bytes);
+            _segs.inc();
+            PacketPtr ack = _receiver.makeTxPacket(
+                64, _sender.id(), /*flow=*/100 + pkt->flowId);
+            _receiver.sendPacket(ack);
+        });
+    // ACK path: every ACK releases the next segment.
+    _sender.setReceiveHandler([this](const PacketPtr &, Tick) {
+        if (_running)
+            sendSegment();
+    });
+}
+
+void
+IperfFlow::start()
+{
+    _running = true;
+    _startTick = curTick();
+    for (std::uint32_t i = 0; i < _window; ++i)
+        sendSegment();
+}
+
+void
+IperfFlow::sendSegment()
+{
+    std::uint64_t flow = 1 + (_seq++ % _parallel);
+    PacketPtr pkt =
+        _sender.makeTxPacket(_segBytes, _receiver.id(), flow);
+    _sender.sendPacket(pkt);
+}
+
+double
+IperfFlow::goodputGbps() const
+{
+    Tick now = curTick();
+    if (now <= _startTick)
+        return 0.0;
+    return double(_bytes.value()) * 8.0 /
+           ticksToSec(now - _startTick) / 1e9;
+}
+
+} // namespace netdimm

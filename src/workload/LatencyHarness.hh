@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Two-node one-way latency harness: the measurement setup behind
+ * Fig. 4 and Fig. 11 ("one-way latency of sending packets of
+ * different size from one node to another through a 40Gb Ethernet
+ * link"). Two identical nodes are joined by a point-to-point link;
+ * the harness pings packets one at a time and averages the per-packet
+ * latency breakdown recorded along the path.
+ */
+
+#ifndef NETDIMM_WORKLOAD_LATENCYHARNESS_HH
+#define NETDIMM_WORKLOAD_LATENCYHARNESS_HH
+
+#include <array>
+
+#include "kernel/Node.hh"
+#include "net/Link.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+/** Averaged breakdown of a latency run. */
+struct PingResult
+{
+    std::uint32_t bytes = 0;
+    /** Mean one-way latency, microseconds. */
+    double totalUs = 0.0;
+    /** Mean per-component latency, microseconds (Fig. 11 bars). */
+    std::array<double, numLatComps> compUs{};
+    /** Mean PCIe share, microseconds (pcie.overh in Fig. 4). */
+    double pcieUs = 0.0;
+    int packets = 0;
+
+    /** PCIe fraction of the total in [0,1]. */
+    double
+    pcieFraction() const
+    {
+        return totalUs > 0.0 ? pcieUs / totalUs : 0.0;
+    }
+};
+
+class LatencyHarness
+{
+  public:
+    /**
+     * @param base system configuration template; the harness copies
+     *        it and overrides the NIC kind.
+     */
+    LatencyHarness(const SystemConfig &base, NicKind kind)
+        : _cfg(base)
+    {
+        _cfg.nic = kind;
+    }
+
+    /**
+     * Measure @p npkts one-way transfers of @p bytes each, after
+     * @p warmup unmeasured packets (cold caches, COPY_NEEDED first
+     * send, allocator warm-up).
+     */
+    PingResult run(std::uint32_t bytes, int npkts = 40,
+                   int warmup = 8) const;
+
+    const SystemConfig &config() const { return _cfg; }
+
+  private:
+    SystemConfig _cfg;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_WORKLOAD_LATENCYHARNESS_HH

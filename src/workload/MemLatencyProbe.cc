@@ -1,0 +1,49 @@
+#include "workload/MemLatencyProbe.hh"
+
+namespace netdimm
+{
+
+MemLatencyProbe::MemLatencyProbe(EventQueue &eq, std::string name,
+                                 Node &node, Tick think,
+                                 std::uint32_t buffer_pages)
+    : SimObject(eq, std::move(name)), _node(node), _think(think),
+      _rng(node.config().seed ^ 0xABCDEF12345ull)
+{
+    _buffer.reserve(buffer_pages);
+    for (std::uint32_t i = 0; i < buffer_pages; ++i)
+        _buffer.push_back(_node.allocWorkloadPage());
+}
+
+void
+MemLatencyProbe::start()
+{
+    _running = true;
+    step();
+}
+
+void
+MemLatencyProbe::warmUp()
+{
+    for (Addr page : _buffer) {
+        for (Addr off = 0; off < pageBytes; off += cachelineBytes)
+            _node.cpuAccess(page + off, cachelineBytes, false, nullptr);
+    }
+}
+
+void
+MemLatencyProbe::step()
+{
+    if (!_running)
+        return;
+    Addr page = _buffer[std::size_t(
+        _rng.uniformInt(0, _buffer.size() - 1))];
+    Addr addr = page + _rng.uniformInt(0, pageBytes / cachelineBytes - 1) *
+                           cachelineBytes;
+    Tick t0 = curTick();
+    _node.cpuAccess(addr, cachelineBytes, false, [this, t0](Tick t1) {
+        _lat.sample(ticksToNs(t1 - t0));
+        scheduleRel(_think, [this] { step(); });
+    });
+}
+
+} // namespace netdimm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Dependent-load memory latency probe: the "co-running application"
+ * of Fig. 12(b). Issues one cacheline read at a time (pointer-chase
+ * style, so each access waits for the previous) across a working set
+ * sized to mostly fit the LLC, and records the observed latency.
+ *
+ * Because the working set is cache resident in isolation, the probe
+ * is sensitive to exactly what the paper measures: DDIO insertions
+ * and on-demand payload fills evicting the co-runner's lines (turning
+ * its hits into DRAM round trips), plus queueing on the memory
+ * channels behind network-induced traffic.
+ */
+
+#ifndef NETDIMM_WORKLOAD_MEMLATENCYPROBE_HH
+#define NETDIMM_WORKLOAD_MEMLATENCYPROBE_HH
+
+#include "kernel/Node.hh"
+#include "sim/Random.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+
+namespace netdimm
+{
+
+class MemLatencyProbe : public SimObject
+{
+  public:
+    /**
+     * @param think gap between a completion and the next access
+     *        (compute phase of the co-runner).
+     */
+    MemLatencyProbe(EventQueue &eq, std::string name, Node &node,
+                    Tick think = nsToTicks(20),
+                    std::uint32_t buffer_pages = 384);
+
+    void start();
+    void stop() { _running = false; }
+
+    /**
+     * Touch every line of the working set (fire-and-forget) so the
+     * steady state starts cache-warm; call well before measuring.
+     */
+    void warmUp();
+
+    /** Drop samples collected so far (end of warm-up). */
+    void resetStats() { _lat.reset(); }
+
+    double meanLatencyNs() const { return _lat.mean(); }
+    std::uint64_t accesses() const { return _lat.count(); }
+
+  private:
+    Node &_node;
+    Tick _think;
+    std::vector<Addr> _buffer;
+    Random _rng;
+    bool _running = false;
+
+    stats::Average _lat;
+
+    void step();
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_WORKLOAD_MEMLATENCYPROBE_HH

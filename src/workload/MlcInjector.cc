@@ -1,0 +1,65 @@
+#include "workload/MlcInjector.hh"
+
+namespace netdimm
+{
+
+MlcInjector::MlcInjector(EventQueue &eq, std::string name, Node &node,
+                         Tick inject_delay, std::uint32_t buffer_pages,
+                         std::uint32_t max_outstanding)
+    : SimObject(eq, std::move(name)), _node(node), _delay(inject_delay),
+      _pages(buffer_pages), _maxOutstanding(max_outstanding)
+{
+    // Separate read and write working sets, each walked sequentially
+    // (MLC's per-thread buffers): streams stay row-friendly instead
+    // of ping-ponging one bank between two rows.
+    _buffer.reserve(2 * _pages);
+    for (std::uint32_t i = 0; i < 2 * _pages; ++i)
+        _buffer.push_back(_node.allocWorkloadPage());
+}
+
+void
+MlcInjector::start()
+{
+    _running = true;
+    _startTick = curTick();
+    injectNext();
+}
+
+void
+MlcInjector::injectNext()
+{
+    if (!_running)
+        return;
+    if (_outstanding >= _maxOutstanding) {
+        // Backed up: retry when something completes (see below).
+        return;
+    }
+
+    // Cacheline-stride walks: reads over the first half of the
+    // buffer, writes over the second half.
+    std::uint32_t lines_per_page = pageBytes / cachelineBytes;
+    std::uint64_t line =
+        _cursor++ % (std::uint64_t(_pages) * lines_per_page);
+    Addr rd_addr = _buffer[std::size_t(line / lines_per_page)] +
+                   (line % lines_per_page) * cachelineBytes;
+    // Stagger the write walk by a quarter slot cycle so the write
+    // stream occupies different banks than the read stream.
+    std::uint64_t wr_page = (line / lines_per_page + 7) % _pages;
+    Addr wr_addr = _buffer[std::size_t(_pages + wr_page)] +
+                   (line % lines_per_page) * cachelineBytes;
+
+    // One read + one posted write (R:W = 1).
+    ++_outstanding;
+    _issued.inc(2);
+    _node.cpuAccess(rd_addr, cachelineBytes, false, [this](Tick) {
+        ND_ASSERT(_outstanding > 0);
+        --_outstanding;
+        if (_running && _outstanding == _maxOutstanding - 1)
+            injectNext(); // drain-triggered refill
+    });
+    _node.cpuAccess(wr_addr, cachelineBytes, true, nullptr);
+
+    scheduleRel(std::max<Tick>(_delay, 1), [this] { injectNext(); });
+}
+
+} // namespace netdimm

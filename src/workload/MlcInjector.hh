@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Intel-MLC-style memory load injector (the Fig. 5 experiment).
+ *
+ * Issues read/write request pairs (R:W = 1, matching the paper's
+ * setup) against a node's LLC/memory path at a configurable delay
+ * between injections. Addresses walk a multi-page buffer with a
+ * cacheline stride, so essentially every access misses the LLC and
+ * lands on the DRAM controllers. Outstanding requests are bounded to
+ * keep the generator load-dependent: when the memory system backs
+ * up, injection stalls, exactly like MLC's loaded-latency loop.
+ */
+
+#ifndef NETDIMM_WORKLOAD_MLCINJECTOR_HH
+#define NETDIMM_WORKLOAD_MLCINJECTOR_HH
+
+#include "kernel/Node.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+
+namespace netdimm
+{
+
+class MlcInjector : public SimObject
+{
+  public:
+    /**
+     * @param node the node whose memory system to pressure.
+     * @param inject_delay gap between injected pairs; 0 = maximum
+     *        pressure (the X axis of Fig. 5).
+     * @param buffer_pages working set size.
+     * @param max_outstanding in-flight cap per injector.
+     */
+    MlcInjector(EventQueue &eq, std::string name, Node &node,
+                Tick inject_delay, std::uint32_t buffer_pages = 4096,
+                std::uint32_t max_outstanding = 16);
+
+    /** Begin injecting at the current tick. */
+    void start();
+    /** Stop scheduling further injections. */
+    void stop() { _running = false; }
+
+    std::uint64_t issued() const { return _issued.value(); }
+    double
+    achievedGBps() const
+    {
+        Tick now = curTick();
+        if (now <= _startTick)
+            return 0.0;
+        return double(_issued.value()) * cachelineBytes /
+               ticksToSec(now - _startTick) / 1e9;
+    }
+
+  private:
+    Node &_node;
+    Tick _delay;
+    std::uint32_t _pages;
+    std::uint32_t _maxOutstanding;
+    std::vector<Addr> _buffer;
+    std::uint64_t _cursor = 0;
+    std::uint32_t _outstanding = 0;
+    bool _running = false;
+    Tick _startTick = 0;
+
+    stats::Scalar _issued;
+
+    void injectNext();
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_WORKLOAD_MLCINJECTOR_HH

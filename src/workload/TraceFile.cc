@@ -1,0 +1,127 @@
+#include "workload/TraceFile.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/Logging.hh"
+
+namespace netdimm
+{
+
+const char *
+TraceFile::localityToken(TrafficLocality loc)
+{
+    switch (loc) {
+      case TrafficLocality::IntraRack:
+        return "rack";
+      case TrafficLocality::IntraCluster:
+        return "cluster";
+      case TrafficLocality::IntraDatacenter:
+        return "datacenter";
+      case TrafficLocality::InterDatacenter:
+        return "interdc";
+    }
+    return "cluster";
+}
+
+bool
+TraceFile::parseLocality(const std::string &token,
+                         TrafficLocality &out)
+{
+    if (token == "rack")
+        out = TrafficLocality::IntraRack;
+    else if (token == "cluster")
+        out = TrafficLocality::IntraCluster;
+    else if (token == "datacenter")
+        out = TrafficLocality::IntraDatacenter;
+    else if (token == "interdc")
+        out = TrafficLocality::InterDatacenter;
+    else
+        return false;
+    return true;
+}
+
+std::vector<TraceRecord>
+TraceFile::read(std::istream &is)
+{
+    std::vector<TraceRecord> out;
+    std::string line;
+    double prev_ns = 0.0;
+    int lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        double at_ns;
+        std::uint32_t bytes;
+        std::string loc_token;
+        if (!(ls >> at_ns))
+            continue; // blank / comment-only line
+        if (!(ls >> bytes >> loc_token))
+            fatal("trace line %d: expected '<ns> <bytes> <locality>'",
+                  lineno);
+        if (at_ns < prev_ns)
+            fatal("trace line %d: arrival times must be "
+                  "non-decreasing",
+                  lineno);
+        if (bytes < 1 || bytes > 9000)
+            fatal("trace line %d: implausible packet size %u",
+                  lineno, bytes);
+        TraceRecord rec;
+        rec.bytes = bytes;
+        if (!parseLocality(loc_token, rec.locality))
+            fatal("trace line %d: unknown locality '%s'", lineno,
+                  loc_token.c_str());
+        rec.interArrival = nsToTicks(at_ns - prev_ns);
+        prev_ns = at_ns;
+        out.push_back(rec);
+    }
+    return out;
+}
+
+std::vector<TraceRecord>
+TraceFile::load(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+    return read(f);
+}
+
+void
+TraceFile::write(std::ostream &os,
+                 const std::vector<TraceRecord> &records)
+{
+    os << "# netdimm-sim packet trace: <arrival_ns> <bytes> "
+          "<locality>\n";
+    double at_ns = 0.0;
+    for (const TraceRecord &rec : records) {
+        at_ns += ticksToNs(rec.interArrival);
+        os << at_ns << ' ' << rec.bytes << ' '
+           << localityToken(rec.locality) << '\n';
+    }
+}
+
+void
+TraceFile::store(const std::string &path,
+                 const std::vector<TraceRecord> &records)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot create trace file '%s'", path.c_str());
+    write(f, records);
+}
+
+std::vector<TraceRecord>
+TraceFile::synthesize(TraceGen &gen, int n)
+{
+    std::vector<TraceRecord> out;
+    out.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(gen.next());
+    return out;
+}
+
+} // namespace netdimm

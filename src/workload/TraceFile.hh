@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Packet-trace file I/O.
+ *
+ * A minimal line format so users can replay *real* captures (e.g.
+ * parsed from the public Facebook dataset [42]) instead of the
+ * synthetic generators:
+ *
+ *     # comment
+ *     <arrival_ns> <bytes> <locality>
+ *
+ * where locality is one of rack|cluster|datacenter|interdc.
+ * Arrival times are absolute nanoseconds from trace start and must
+ * be non-decreasing.
+ */
+
+#ifndef NETDIMM_WORKLOAD_TRACEFILE_HH
+#define NETDIMM_WORKLOAD_TRACEFILE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/TraceGen.hh"
+
+namespace netdimm
+{
+
+class TraceFile
+{
+  public:
+    /** Parse a trace from a stream. Throws via fatal() on errors. */
+    static std::vector<TraceRecord> read(std::istream &is);
+
+    /** Load a trace file from disk. */
+    static std::vector<TraceRecord> load(const std::string &path);
+
+    /** Serialize records (inter-arrivals become absolute times). */
+    static void write(std::ostream &os,
+                      const std::vector<TraceRecord> &records);
+
+    /** Store a trace file to disk. */
+    static void store(const std::string &path,
+                      const std::vector<TraceRecord> &records);
+
+    /** Synthesize @p n records from @p gen into a trace. */
+    static std::vector<TraceRecord> synthesize(TraceGen &gen, int n);
+
+    /** Locality <-> token helpers. */
+    static const char *localityToken(TrafficLocality loc);
+    static bool parseLocality(const std::string &token,
+                              TrafficLocality &out);
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_WORKLOAD_TRACEFILE_HH

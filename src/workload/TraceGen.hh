@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Synthetic datacenter traffic matching the published distributions
+ * of the three Facebook production clusters the paper replays
+ * (Sec. 5.1, after Roy et al. [60]):
+ *
+ *  - database:  packet sizes uniform in [64, 1514]B; traffic mostly
+ *               inter-cluster and inter-datacenter.
+ *  - webserver: ~90% of packets < 300B; mostly intra-datacenter but
+ *               inter-cluster.
+ *  - hadoop:    ~41% of packets < 100B, ~52% full MTU (1514B);
+ *               intra-cluster.
+ *
+ * The real traces are Facebook-internal; these generators substitute
+ * them with the size and locality mixes the paper states, which are
+ * the only trace properties Fig. 12 depends on.
+ */
+
+#ifndef NETDIMM_WORKLOAD_TRACEGEN_HH
+#define NETDIMM_WORKLOAD_TRACEGEN_HH
+
+#include <cstdint>
+
+#include "net/Switch.hh"
+#include "sim/Random.hh"
+#include "sim/Ticks.hh"
+
+namespace netdimm
+{
+
+/** The three replayed production clusters. */
+enum class ClusterType
+{
+    Database,
+    Webserver,
+    Hadoop,
+};
+
+/** @return printable cluster name. */
+const char *clusterName(ClusterType c);
+
+/** One synthesized packet arrival. */
+struct TraceRecord
+{
+    std::uint32_t bytes = 0;
+    TrafficLocality locality = TrafficLocality::IntraCluster;
+    /** Gap since the previous record. */
+    Tick interArrival = 0;
+};
+
+class TraceGen
+{
+  public:
+    /**
+     * @param cluster which cluster's distributions to synthesize.
+     * @param offered_gbps mean offered load used to scale the
+     *        exponential inter-arrival times.
+     */
+    TraceGen(ClusterType cluster, double offered_gbps,
+             std::uint64_t seed);
+
+    /** Synthesize the next packet arrival. */
+    TraceRecord next();
+
+    ClusterType cluster() const { return _cluster; }
+
+    /** Mean packet size of this cluster's distribution, bytes. */
+    double meanBytes() const { return _meanBytes; }
+
+  private:
+    ClusterType _cluster;
+    double _offeredGbps;
+    double _meanBytes;
+    Random _rng;
+
+    std::uint32_t sampleBytes();
+    TrafficLocality sampleLocality();
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_WORKLOAD_TRACEGEN_HH

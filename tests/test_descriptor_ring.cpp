@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the circular descriptor ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/DescriptorRing.hh"
+
+using namespace netdimm;
+
+TEST(DescriptorRing, InitialState)
+{
+    DescriptorRing ring;
+    ring.init(0x1000, 8);
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.full());
+    EXPECT_EQ(ring.occupancy(), 0u);
+    EXPECT_EQ(ring.base(), 0x1000u);
+    EXPECT_EQ(ring.entries(), 8u);
+}
+
+TEST(DescriptorRing, DescriptorAddressesAre16BApart)
+{
+    DescriptorRing ring;
+    ring.init(0x1000, 8);
+    EXPECT_EQ(ring.descAddr(0), 0x1000u);
+    EXPECT_EQ(ring.descAddr(1), 0x1010u);
+    EXPECT_EQ(ring.descAddr(7), 0x1070u);
+    // Indices wrap.
+    EXPECT_EQ(ring.descAddr(8), 0x1000u);
+}
+
+TEST(DescriptorRing, PushPopFifoOrder)
+{
+    DescriptorRing ring;
+    ring.init(0, 8);
+    for (Addr a = 100; a < 105; ++a)
+        ring.push(a);
+    EXPECT_EQ(ring.occupancy(), 5u);
+    EXPECT_EQ(ring.peek(), 100u);
+    for (Addr a = 100; a < 105; ++a)
+        EXPECT_EQ(ring.pop(), a);
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(DescriptorRing, FullLeavesOneSlotFree)
+{
+    DescriptorRing ring;
+    ring.init(0, 4);
+    ring.push(1);
+    ring.push(2);
+    ring.push(3);
+    EXPECT_TRUE(ring.full()); // capacity - 1 usable, e1000-style
+}
+
+TEST(DescriptorRing, WrapsAroundManyTimes)
+{
+    DescriptorRing ring;
+    ring.init(0, 4);
+    for (Addr i = 0; i < 100; ++i) {
+        ring.push(i);
+        EXPECT_EQ(ring.pop(), i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+TEST(DescriptorRing, PushReturnsSlotIndex)
+{
+    DescriptorRing ring;
+    ring.init(0, 4);
+    EXPECT_EQ(ring.push(10), 0u);
+    EXPECT_EQ(ring.push(11), 1u);
+    ring.pop();
+    EXPECT_EQ(ring.push(12), 2u);
+}
+
+TEST(DescriptorRingDeath, PopEmptyAsserts)
+{
+    DescriptorRing ring;
+    ring.init(0, 4);
+    EXPECT_DEATH(ring.pop(), "empty");
+}
+
+TEST(DescriptorRingDeath, PushFullAsserts)
+{
+    DescriptorRing ring;
+    ring.init(0, 2);
+    ring.push(1);
+    EXPECT_DEATH(ring.push(2), "full");
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/EventQueue.hh"
+
+using namespace netdimm;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pendingEvents(), 0u);
+    EXPECT_EQ(eq.run(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickRunsInInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, PriorityOrdersWithinTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, EventPriority::Stats);
+    eq.schedule(5, [&] { order.push_back(1); }, EventPriority::Default);
+    eq.schedule(5, [&] { order.push_back(0); },
+                EventPriority::Maintenance);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleRelIsRelativeToNow)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleRel(50, [&] { seen = eq.curTick(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, DescheduleCancelsPendingEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    auto h = eq.schedule(10, [&] { ran = true; });
+    eq.deschedule(h);
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, DescheduleExecutedEventIsNoOp)
+{
+    EventQueue eq;
+    int runs = 0;
+    auto h = eq.schedule(10, [&] { ++runs; });
+    eq.schedule(20, [&] { ++runs; });
+    EXPECT_TRUE(eq.step());
+    eq.deschedule(h); // already ran
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    eq.run();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueue, RunLimitStopsBeforeLaterEvents)
+{
+    EventQueue eq;
+    int runs = 0;
+    eq.schedule(10, [&] { ++runs; });
+    eq.schedule(20, [&] { ++runs; });
+    eq.schedule(30, [&] { ++runs; });
+    EXPECT_EQ(eq.run(20), 2u);
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(EventQueue, EventsScheduledDuringRunExecute)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            eq.scheduleRel(1, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(eq.curTick(), 9u);
+    EXPECT_EQ(eq.executedEvents(), 10u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int runs = 0;
+    eq.schedule(1, [&] { ++runs; });
+    eq.schedule(2, [&] { ++runs; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(runs, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}

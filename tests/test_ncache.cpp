@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for nCache: read-once consume semantics, the header
+ * flag, write snooping, and random replacement within full sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "netdimm/NCache.hh"
+
+using namespace netdimm;
+
+namespace
+{
+NetDimmConfig
+smallConfig()
+{
+    NetDimmConfig cfg;
+    cfg.nCacheBytes = 8 * 1024; // 128 lines
+    cfg.nCacheAssoc = 4;        // 32 sets
+    return cfg;
+}
+} // namespace
+
+TEST(NCache, MissOnEmpty)
+{
+    NCache c(smallConfig(), 1);
+    auto r = c.consume(0);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(NCache, InsertThenConsumeHitsOnce)
+{
+    NCache c(smallConfig(), 1);
+    c.insert(0, false);
+    EXPECT_TRUE(c.probe(0));
+
+    auto first = c.consume(0);
+    EXPECT_TRUE(first.hit);
+    // Read-once: the line is gone after the first access.
+    EXPECT_FALSE(c.probe(0));
+    auto second = c.consume(0);
+    EXPECT_FALSE(second.hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(NCache, HeaderFlagReportedAndCleared)
+{
+    NCache c(smallConfig(), 1);
+    c.insert(0, /*is_header=*/true);
+    c.insert(64, /*is_header=*/false);
+    EXPECT_TRUE(c.consume(0).wasHeader);
+    EXPECT_FALSE(c.consume(64).wasHeader);
+}
+
+TEST(NCache, ReinsertUpdatesHeaderFlag)
+{
+    NCache c(smallConfig(), 1);
+    c.insert(0, false);
+    c.insert(0, true); // same line, now a header
+    EXPECT_TRUE(c.consume(0).wasHeader);
+}
+
+TEST(NCache, LineGranularityWithinCacheline)
+{
+    NCache c(smallConfig(), 1);
+    c.insert(0, true);
+    // Any address within the same 64B line hits.
+    EXPECT_TRUE(c.probe(63));
+    auto r = c.consume(32);
+    EXPECT_TRUE(r.hit);
+    EXPECT_TRUE(r.wasHeader);
+}
+
+TEST(NCache, InvalidateDropsCoveredLines)
+{
+    NCache c(smallConfig(), 1);
+    for (Addr a = 0; a < 512; a += 64)
+        c.insert(a, false);
+    c.invalidate(64, 256); // lines 64..319
+    EXPECT_TRUE(c.probe(0));
+    EXPECT_FALSE(c.probe(64));
+    EXPECT_FALSE(c.probe(128));
+    EXPECT_FALSE(c.probe(256));
+    EXPECT_TRUE(c.probe(320));
+}
+
+TEST(NCache, FullSetEvictsRandomly)
+{
+    NetDimmConfig cfg = smallConfig();
+    NCache c(cfg, 42);
+    std::uint32_t sets = cfg.nCacheBytes / 64 / cfg.nCacheAssoc;
+    Addr stride = Addr(sets) * 64;
+    // Fill one set beyond capacity.
+    for (std::uint32_t i = 0; i < cfg.nCacheAssoc + 3; ++i)
+        c.insert(Addr(i) * stride, false);
+    EXPECT_EQ(c.evictions(), 3u);
+    int resident = 0;
+    for (std::uint32_t i = 0; i < cfg.nCacheAssoc + 3; ++i)
+        resident += c.probe(Addr(i) * stride);
+    EXPECT_EQ(resident, int(cfg.nCacheAssoc));
+}
+
+TEST(NCache, CapacityMatchesConfig)
+{
+    NetDimmConfig cfg;
+    cfg.nCacheBytes = 64 * 1024;
+    cfg.nCacheAssoc = 8;
+    NCache c(cfg, 1);
+    EXPECT_EQ(c.lines(), 1024u);
+}
+
+TEST(NCache, ConsumeFreesTheWayForReuse)
+{
+    NetDimmConfig cfg = smallConfig();
+    NCache c(cfg, 7);
+    std::uint32_t sets = cfg.nCacheBytes / 64 / cfg.nCacheAssoc;
+    Addr stride = Addr(sets) * 64;
+    for (std::uint32_t i = 0; i < cfg.nCacheAssoc; ++i)
+        c.insert(Addr(i) * stride, false);
+    c.consume(0); // frees one way
+    c.insert(Addr(100) * stride, false);
+    EXPECT_EQ(c.evictions(), 0u);
+}

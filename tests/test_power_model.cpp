@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Unit tests for the energy accounting model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/PowerModel.hh"
+
+using namespace netdimm;
+
+TEST(EnergyAccount, StartsEmpty)
+{
+    EnergyAccount a;
+    EXPECT_DOUBLE_EQ(a.totalPj(), 0.0);
+    EXPECT_DOUBLE_EQ(a.averageWatts(1.0), 0.0);
+}
+
+TEST(EnergyAccount, AccumulatesPerCategory)
+{
+    EnergyParams p;
+    EnergyAccount a(p);
+    a.dramBeats(10);
+    a.channelBeats(5);
+    a.pcieBytes(100);
+    a.sramLines(3);
+    a.fpmRows(2);
+    a.cloneLines(4);
+    a.wireBytes(200);
+    a.cpuCycles(1000);
+
+    EXPECT_DOUBLE_EQ(a.dramPj(), 10 * p.dramBeatPj);
+    EXPECT_DOUBLE_EQ(a.channelPj(), 5 * p.channelBeatPj);
+    EXPECT_DOUBLE_EQ(a.pciePj(), 100 * p.pciePerBytePj);
+    EXPECT_DOUBLE_EQ(a.sramPj(), 3 * p.sramLinePj);
+    EXPECT_DOUBLE_EQ(a.clonePj(),
+                     2 * p.fpmRowPj + 4 * p.cloneLinePj);
+    EXPECT_DOUBLE_EQ(a.wirePj(), 200 * p.wirePerBytePj);
+    EXPECT_DOUBLE_EQ(a.cpuPj(), 1000 * p.cpuCyclePj);
+
+    double sum = a.dramPj() + a.channelPj() + a.pciePj() + a.sramPj() +
+                 a.clonePj() + a.wirePj() + a.cpuPj();
+    EXPECT_DOUBLE_EQ(a.totalPj(), sum);
+}
+
+TEST(EnergyAccount, AverageWattsConversion)
+{
+    EnergyAccount a;
+    a.wireBytes(1000000); // 1e6 B * 80 pJ/B = 8e7 pJ = 8e-5 J
+    EXPECT_NEAR(a.averageWatts(1.0), 8e-5, 1e-9);
+    EXPECT_NEAR(a.averageWatts(0.001), 8e-2, 1e-6);
+    EXPECT_DOUBLE_EQ(a.averageWatts(0.0), 0.0);
+}
+
+TEST(EnergyAccount, FpmCheaperThanLineCloneForFullRows)
+{
+    // RowClone's selling point: copying a 1KB row by two activations
+    // costs less than moving its 16 lines over any bus.
+    EnergyParams p;
+    double fpm = p.fpmRowPj;
+    double psm = 16 * p.cloneLinePj;
+    double cpu = 2 * 16 * p.dramBeatPj; // read + write via CPU
+    EXPECT_LT(fpm, psm);
+    EXPECT_LT(psm, cpu);
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit and statistical tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/Random.hh"
+
+using namespace netdimm;
+
+TEST(Random, DeterministicForSameSeed)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next32() == b.next32());
+    EXPECT_LT(same, 3);
+}
+
+TEST(Random, UniformIntStaysInRange)
+{
+    Random r(7);
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t v = r.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, UniformIntSinglePoint)
+{
+    Random r(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniformInt(5, 5), 5u);
+}
+
+TEST(Random, UniformIntCoversRange)
+{
+    Random r(3);
+    std::vector<int> hits(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++hits[std::size_t(r.uniformInt(0, 7))];
+    for (int h : hits) {
+        EXPECT_GT(h, 800);
+        EXPECT_LT(h, 1200);
+    }
+}
+
+TEST(Random, UniformDoubleInHalfOpenUnit)
+{
+    Random r(11);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        double v = r.uniformDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Random, BernoulliMatchesProbability)
+{
+    Random r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Random, DiscreteRespectsWeights)
+{
+    Random r(17);
+    std::vector<double> w = {1.0, 3.0, 6.0};
+    std::vector<int> hits(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++hits[r.discrete(w)];
+    EXPECT_NEAR(hits[0] / 30000.0, 0.1, 0.02);
+    EXPECT_NEAR(hits[1] / 30000.0, 0.3, 0.02);
+    EXPECT_NEAR(hits[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(Random, ExponentialHasRequestedMean)
+{
+    Random r(19);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(250.0);
+    EXPECT_NEAR(sum / n, 250.0, 10.0);
+}
+
+TEST(Random, ExponentialIsNonNegative)
+{
+    Random r(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(r.exponential(1.0), 0.0);
+}

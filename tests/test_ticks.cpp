@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Unit tests for the time base conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/Ticks.hh"
+
+using namespace netdimm;
+
+TEST(Ticks, UnitRelations)
+{
+    EXPECT_EQ(tickPerNs, 1000u * tickPerPs);
+    EXPECT_EQ(tickPerUs, 1000u * tickPerNs);
+    EXPECT_EQ(tickPerMs, 1000u * tickPerUs);
+    EXPECT_EQ(tickPerSec, 1000u * tickPerMs);
+}
+
+TEST(Ticks, Conversions)
+{
+    EXPECT_EQ(nsToTicks(1), 1000u);
+    EXPECT_EQ(usToTicks(1.5), 1500000u);
+    EXPECT_DOUBLE_EQ(ticksToNs(2500), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToUs(2500000), 2.5);
+    EXPECT_DOUBLE_EQ(ticksToSec(tickPerSec), 1.0);
+}
+
+TEST(Ticks, RoundTripNs)
+{
+    for (double ns : {0.5, 1.0, 12.25, 100.0, 99999.0})
+        EXPECT_NEAR(ticksToNs(nsToTicks(ns)), ns, 0.001);
+}
+
+TEST(Ticks, CyclePeriod)
+{
+    // 3.4 GHz -> 294 ps (truncated).
+    EXPECT_EQ(cyclePeriod(3.4), 294u);
+    // 1 GHz -> exactly 1000 ps.
+    EXPECT_EQ(cyclePeriod(1.0), 1000u);
+}
+
+TEST(Ticks, SerializationTicks)
+{
+    // 64 bytes at 40 Gbps: 512 bits / 40 = 12.8 ns.
+    EXPECT_EQ(serializationTicks(64, 40.0), 12800u);
+    // 1500 bytes at 40 Gbps: 300 ns.
+    EXPECT_EQ(serializationTicks(1500, 40.0), 300000u);
+    // Doubling the rate halves the time.
+    EXPECT_EQ(serializationTicks(1024, 10.0),
+              2 * serializationTicks(1024, 20.0));
+}
+
+TEST(Ticks, MaxTickIsNever)
+{
+    EXPECT_GT(maxTick, tickPerSec * 3600ull * 24ull * 365ull);
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Tests for trace file serialization / parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/TraceFile.hh"
+
+using namespace netdimm;
+
+TEST(TraceFile, RoundTripPreservesRecords)
+{
+    TraceGen gen(ClusterType::Hadoop, 10.0, 42);
+    auto records = TraceFile::synthesize(gen, 500);
+
+    std::stringstream ss;
+    TraceFile::write(ss, records);
+    auto back = TraceFile::read(ss);
+
+    ASSERT_EQ(back.size(), records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        EXPECT_EQ(back[i].bytes, records[i].bytes);
+        EXPECT_EQ(back[i].locality, records[i].locality);
+        // ns-resolution serialization: inter-arrivals match to 1ns.
+        EXPECT_NEAR(double(back[i].interArrival),
+                    double(records[i].interArrival),
+                    2.0 * tickPerNs);
+    }
+}
+
+TEST(TraceFile, ParsesCommentsAndBlankLines)
+{
+    std::stringstream ss;
+    ss << "# a comment\n"
+       << "\n"
+       << "100 64 rack\n"
+       << "250 1514 interdc  # trailing comment\n";
+    auto recs = TraceFile::read(ss);
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].bytes, 64u);
+    EXPECT_EQ(recs[0].locality, TrafficLocality::IntraRack);
+    EXPECT_EQ(recs[0].interArrival, nsToTicks(100));
+    EXPECT_EQ(recs[1].bytes, 1514u);
+    EXPECT_EQ(recs[1].locality, TrafficLocality::InterDatacenter);
+    EXPECT_EQ(recs[1].interArrival, nsToTicks(150));
+}
+
+TEST(TraceFile, LocalityTokensRoundTrip)
+{
+    for (TrafficLocality loc :
+         {TrafficLocality::IntraRack, TrafficLocality::IntraCluster,
+          TrafficLocality::IntraDatacenter,
+          TrafficLocality::InterDatacenter}) {
+        TrafficLocality out;
+        ASSERT_TRUE(
+            TraceFile::parseLocality(TraceFile::localityToken(loc), out));
+        EXPECT_EQ(out, loc);
+    }
+    TrafficLocality out;
+    EXPECT_FALSE(TraceFile::parseLocality("mars", out));
+}
+
+TEST(TraceFileDeath, RejectsMalformedLines)
+{
+    std::stringstream a("100 64\n");
+    EXPECT_DEATH((void)TraceFile::read(a), "expected");
+    std::stringstream b("100 64 nowhere\n");
+    EXPECT_DEATH((void)TraceFile::read(b), "locality");
+    std::stringstream c("100 64 rack\n50 64 rack\n");
+    EXPECT_DEATH((void)TraceFile::read(c), "non-decreasing");
+    std::stringstream d("100 0 rack\n");
+    EXPECT_DEATH((void)TraceFile::read(d), "implausible");
+}
+
+TEST(TraceFile, StoreAndLoadDisk)
+{
+    TraceGen gen(ClusterType::Webserver, 8.0, 7);
+    auto records = TraceFile::synthesize(gen, 100);
+    std::string path = ::testing::TempDir() + "/nd_trace_test.txt";
+    TraceFile::store(path, records);
+    auto back = TraceFile::load(path);
+    ASSERT_EQ(back.size(), records.size());
+    EXPECT_EQ(back[42].bytes, records[42].bytes);
+}
