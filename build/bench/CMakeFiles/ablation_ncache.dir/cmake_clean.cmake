@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ncache.dir/ablation_ncache.cpp.o"
+  "CMakeFiles/ablation_ncache.dir/ablation_ncache.cpp.o.d"
+  "ablation_ncache"
+  "ablation_ncache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ncache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

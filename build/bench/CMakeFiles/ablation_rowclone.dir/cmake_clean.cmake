@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rowclone.dir/ablation_rowclone.cpp.o"
+  "CMakeFiles/ablation_rowclone.dir/ablation_rowclone.cpp.o.d"
+  "ablation_rowclone"
+  "ablation_rowclone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rowclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_software.dir/ablation_software.cpp.o"
+  "CMakeFiles/ablation_software.dir/ablation_software.cpp.o.d"
+  "ablation_software"
+  "ablation_software.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_software.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

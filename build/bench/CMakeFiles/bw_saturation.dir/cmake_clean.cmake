@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bw_saturation.dir/bw_saturation.cpp.o"
+  "CMakeFiles/bw_saturation.dir/bw_saturation.cpp.o.d"
+  "bw_saturation"
+  "bw_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bw_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

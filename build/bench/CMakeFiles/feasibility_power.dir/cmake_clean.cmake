@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasibility_power.dir/feasibility_power.cpp.o"
+  "CMakeFiles/feasibility_power.dir/feasibility_power.cpp.o.d"
+  "feasibility_power"
+  "feasibility_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasibility_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

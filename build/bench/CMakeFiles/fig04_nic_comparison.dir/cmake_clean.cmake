@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_nic_comparison.dir/fig04_nic_comparison.cpp.o"
+  "CMakeFiles/fig04_nic_comparison.dir/fig04_nic_comparison.cpp.o.d"
+  "fig04_nic_comparison"
+  "fig04_nic_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_nic_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_membw_interference.dir/fig05_membw_interference.cpp.o"
+  "CMakeFiles/fig05_membw_interference.dir/fig05_membw_interference.cpp.o.d"
+  "fig05_membw_interference"
+  "fig05_membw_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_membw_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12a_trace_replay.dir/fig12a_trace_replay.cpp.o"
+  "CMakeFiles/fig12a_trace_replay.dir/fig12a_trace_replay.cpp.o.d"
+  "fig12a_trace_replay"
+  "fig12a_trace_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12a_trace_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12b_mem_interference.dir/fig12b_mem_interference.cpp.o"
+  "CMakeFiles/fig12b_mem_interference.dir/fig12b_mem_interference.cpp.o.d"
+  "fig12b_mem_interference"
+  "fig12b_mem_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12b_mem_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

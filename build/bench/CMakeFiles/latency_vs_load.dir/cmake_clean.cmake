@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_vs_load.dir/latency_vs_load.cpp.o"
+  "CMakeFiles/latency_vs_load.dir/latency_vs_load.cpp.o.d"
+  "latency_vs_load"
+  "latency_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

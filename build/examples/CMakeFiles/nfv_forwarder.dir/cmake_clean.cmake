@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfv_forwarder.dir/nfv_forwarder.cpp.o"
+  "CMakeFiles/nfv_forwarder.dir/nfv_forwarder.cpp.o.d"
+  "nfv_forwarder"
+  "nfv_forwarder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfv_forwarder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_datacenter.dir/trace_datacenter.cpp.o"
+  "CMakeFiles/trace_datacenter.dir/trace_datacenter.cpp.o.d"
+  "trace_datacenter"
+  "trace_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

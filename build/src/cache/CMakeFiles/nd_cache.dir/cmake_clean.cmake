@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_cache.dir/Llc.cc.o"
+  "CMakeFiles/nd_cache.dir/Llc.cc.o.d"
+  "libnd_cache.a"
+  "libnd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

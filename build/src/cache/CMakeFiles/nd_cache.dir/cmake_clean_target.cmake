@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnd_cache.a"
+)

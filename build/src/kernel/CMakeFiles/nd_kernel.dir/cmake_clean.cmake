@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_kernel.dir/AllocCache.cc.o"
+  "CMakeFiles/nd_kernel.dir/AllocCache.cc.o.d"
+  "CMakeFiles/nd_kernel.dir/CopyEngine.cc.o"
+  "CMakeFiles/nd_kernel.dir/CopyEngine.cc.o.d"
+  "CMakeFiles/nd_kernel.dir/NetdimmDriver.cc.o"
+  "CMakeFiles/nd_kernel.dir/NetdimmDriver.cc.o.d"
+  "CMakeFiles/nd_kernel.dir/Node.cc.o"
+  "CMakeFiles/nd_kernel.dir/Node.cc.o.d"
+  "CMakeFiles/nd_kernel.dir/PageAllocator.cc.o"
+  "CMakeFiles/nd_kernel.dir/PageAllocator.cc.o.d"
+  "CMakeFiles/nd_kernel.dir/StandardDriver.cc.o"
+  "CMakeFiles/nd_kernel.dir/StandardDriver.cc.o.d"
+  "CMakeFiles/nd_kernel.dir/Zones.cc.o"
+  "CMakeFiles/nd_kernel.dir/Zones.cc.o.d"
+  "libnd_kernel.a"
+  "libnd_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

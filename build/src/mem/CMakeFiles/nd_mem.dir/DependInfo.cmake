@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/AddressMap.cc" "src/mem/CMakeFiles/nd_mem.dir/AddressMap.cc.o" "gcc" "src/mem/CMakeFiles/nd_mem.dir/AddressMap.cc.o.d"
+  "/root/repo/src/mem/MemoryController.cc" "src/mem/CMakeFiles/nd_mem.dir/MemoryController.cc.o" "gcc" "src/mem/CMakeFiles/nd_mem.dir/MemoryController.cc.o.d"
+  "/root/repo/src/mem/MemorySystem.cc" "src/mem/CMakeFiles/nd_mem.dir/MemorySystem.cc.o" "gcc" "src/mem/CMakeFiles/nd_mem.dir/MemorySystem.cc.o.d"
+  "/root/repo/src/mem/RowClone.cc" "src/mem/CMakeFiles/nd_mem.dir/RowClone.cc.o" "gcc" "src/mem/CMakeFiles/nd_mem.dir/RowClone.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_mem.dir/AddressMap.cc.o"
+  "CMakeFiles/nd_mem.dir/AddressMap.cc.o.d"
+  "CMakeFiles/nd_mem.dir/MemoryController.cc.o"
+  "CMakeFiles/nd_mem.dir/MemoryController.cc.o.d"
+  "CMakeFiles/nd_mem.dir/MemorySystem.cc.o"
+  "CMakeFiles/nd_mem.dir/MemorySystem.cc.o.d"
+  "CMakeFiles/nd_mem.dir/RowClone.cc.o"
+  "CMakeFiles/nd_mem.dir/RowClone.cc.o.d"
+  "libnd_mem.a"
+  "libnd_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

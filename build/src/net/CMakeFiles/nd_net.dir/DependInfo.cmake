@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/Link.cc" "src/net/CMakeFiles/nd_net.dir/Link.cc.o" "gcc" "src/net/CMakeFiles/nd_net.dir/Link.cc.o.d"
+  "/root/repo/src/net/Packet.cc" "src/net/CMakeFiles/nd_net.dir/Packet.cc.o" "gcc" "src/net/CMakeFiles/nd_net.dir/Packet.cc.o.d"
+  "/root/repo/src/net/Switch.cc" "src/net/CMakeFiles/nd_net.dir/Switch.cc.o" "gcc" "src/net/CMakeFiles/nd_net.dir/Switch.cc.o.d"
+  "/root/repo/src/net/Topology.cc" "src/net/CMakeFiles/nd_net.dir/Topology.cc.o" "gcc" "src/net/CMakeFiles/nd_net.dir/Topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nd_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_net.dir/Link.cc.o"
+  "CMakeFiles/nd_net.dir/Link.cc.o.d"
+  "CMakeFiles/nd_net.dir/Packet.cc.o"
+  "CMakeFiles/nd_net.dir/Packet.cc.o.d"
+  "CMakeFiles/nd_net.dir/Switch.cc.o"
+  "CMakeFiles/nd_net.dir/Switch.cc.o.d"
+  "CMakeFiles/nd_net.dir/Topology.cc.o"
+  "CMakeFiles/nd_net.dir/Topology.cc.o.d"
+  "libnd_net.a"
+  "libnd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

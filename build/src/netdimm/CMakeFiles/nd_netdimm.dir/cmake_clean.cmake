@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_netdimm.dir/NCache.cc.o"
+  "CMakeFiles/nd_netdimm.dir/NCache.cc.o.d"
+  "CMakeFiles/nd_netdimm.dir/NetDimmDevice.cc.o"
+  "CMakeFiles/nd_netdimm.dir/NetDimmDevice.cc.o.d"
+  "libnd_netdimm.a"
+  "libnd_netdimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_netdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

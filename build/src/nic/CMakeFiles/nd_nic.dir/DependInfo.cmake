@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/DiscreteNic.cc" "src/nic/CMakeFiles/nd_nic.dir/DiscreteNic.cc.o" "gcc" "src/nic/CMakeFiles/nd_nic.dir/DiscreteNic.cc.o.d"
+  "/root/repo/src/nic/IntegratedNic.cc" "src/nic/CMakeFiles/nd_nic.dir/IntegratedNic.cc.o" "gcc" "src/nic/CMakeFiles/nd_nic.dir/IntegratedNic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/nd_pcie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_nic.dir/DiscreteNic.cc.o"
+  "CMakeFiles/nd_nic.dir/DiscreteNic.cc.o.d"
+  "CMakeFiles/nd_nic.dir/IntegratedNic.cc.o"
+  "CMakeFiles/nd_nic.dir/IntegratedNic.cc.o.d"
+  "libnd_nic.a"
+  "libnd_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_nvdimm.dir/NvdimmDevice.cc.o"
+  "CMakeFiles/nd_nvdimm.dir/NvdimmDevice.cc.o.d"
+  "libnd_nvdimm.a"
+  "libnd_nvdimm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_nvdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

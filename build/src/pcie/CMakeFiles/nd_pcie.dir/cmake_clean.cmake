@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_pcie.dir/PcieLink.cc.o"
+  "CMakeFiles/nd_pcie.dir/PcieLink.cc.o.d"
+  "libnd_pcie.a"
+  "libnd_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/EventQueue.cc" "src/sim/CMakeFiles/nd_sim.dir/EventQueue.cc.o" "gcc" "src/sim/CMakeFiles/nd_sim.dir/EventQueue.cc.o.d"
+  "/root/repo/src/sim/Logging.cc" "src/sim/CMakeFiles/nd_sim.dir/Logging.cc.o" "gcc" "src/sim/CMakeFiles/nd_sim.dir/Logging.cc.o.d"
+  "/root/repo/src/sim/Random.cc" "src/sim/CMakeFiles/nd_sim.dir/Random.cc.o" "gcc" "src/sim/CMakeFiles/nd_sim.dir/Random.cc.o.d"
+  "/root/repo/src/sim/Stats.cc" "src/sim/CMakeFiles/nd_sim.dir/Stats.cc.o" "gcc" "src/sim/CMakeFiles/nd_sim.dir/Stats.cc.o.d"
+  "/root/repo/src/sim/SystemConfig.cc" "src/sim/CMakeFiles/nd_sim.dir/SystemConfig.cc.o" "gcc" "src/sim/CMakeFiles/nd_sim.dir/SystemConfig.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

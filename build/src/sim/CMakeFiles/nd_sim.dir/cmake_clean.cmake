@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_sim.dir/EventQueue.cc.o"
+  "CMakeFiles/nd_sim.dir/EventQueue.cc.o.d"
+  "CMakeFiles/nd_sim.dir/Logging.cc.o"
+  "CMakeFiles/nd_sim.dir/Logging.cc.o.d"
+  "CMakeFiles/nd_sim.dir/Random.cc.o"
+  "CMakeFiles/nd_sim.dir/Random.cc.o.d"
+  "CMakeFiles/nd_sim.dir/Stats.cc.o"
+  "CMakeFiles/nd_sim.dir/Stats.cc.o.d"
+  "CMakeFiles/nd_sim.dir/SystemConfig.cc.o"
+  "CMakeFiles/nd_sim.dir/SystemConfig.cc.o.d"
+  "libnd_sim.a"
+  "libnd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/IperfFlow.cc" "src/workload/CMakeFiles/nd_workload.dir/IperfFlow.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/IperfFlow.cc.o.d"
+  "/root/repo/src/workload/LatencyHarness.cc" "src/workload/CMakeFiles/nd_workload.dir/LatencyHarness.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/LatencyHarness.cc.o.d"
+  "/root/repo/src/workload/MemLatencyProbe.cc" "src/workload/CMakeFiles/nd_workload.dir/MemLatencyProbe.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/MemLatencyProbe.cc.o.d"
+  "/root/repo/src/workload/MlcInjector.cc" "src/workload/CMakeFiles/nd_workload.dir/MlcInjector.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/MlcInjector.cc.o.d"
+  "/root/repo/src/workload/NfHarness.cc" "src/workload/CMakeFiles/nd_workload.dir/NfHarness.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/NfHarness.cc.o.d"
+  "/root/repo/src/workload/TraceFile.cc" "src/workload/CMakeFiles/nd_workload.dir/TraceFile.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/TraceFile.cc.o.d"
+  "/root/repo/src/workload/TraceGen.cc" "src/workload/CMakeFiles/nd_workload.dir/TraceGen.cc.o" "gcc" "src/workload/CMakeFiles/nd_workload.dir/TraceGen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/nd_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdimm/CMakeFiles/nd_netdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/nd_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/nd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvdimm/CMakeFiles/nd_nvdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nd_workload.dir/IperfFlow.cc.o"
+  "CMakeFiles/nd_workload.dir/IperfFlow.cc.o.d"
+  "CMakeFiles/nd_workload.dir/LatencyHarness.cc.o"
+  "CMakeFiles/nd_workload.dir/LatencyHarness.cc.o.d"
+  "CMakeFiles/nd_workload.dir/MemLatencyProbe.cc.o"
+  "CMakeFiles/nd_workload.dir/MemLatencyProbe.cc.o.d"
+  "CMakeFiles/nd_workload.dir/MlcInjector.cc.o"
+  "CMakeFiles/nd_workload.dir/MlcInjector.cc.o.d"
+  "CMakeFiles/nd_workload.dir/NfHarness.cc.o"
+  "CMakeFiles/nd_workload.dir/NfHarness.cc.o.d"
+  "CMakeFiles/nd_workload.dir/TraceFile.cc.o"
+  "CMakeFiles/nd_workload.dir/TraceFile.cc.o.d"
+  "CMakeFiles/nd_workload.dir/TraceGen.cc.o"
+  "CMakeFiles/nd_workload.dir/TraceGen.cc.o.d"
+  "libnd_workload.a"
+  "libnd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_cache.dir/test_alloc_cache.cpp.o"
+  "CMakeFiles/test_alloc_cache.dir/test_alloc_cache.cpp.o.d"
+  "test_alloc_cache"
+  "test_alloc_cache.pdb"
+  "test_alloc_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

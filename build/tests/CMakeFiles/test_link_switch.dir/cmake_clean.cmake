@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_switch.dir/test_link_switch.cpp.o"
+  "CMakeFiles/test_link_switch.dir/test_link_switch.cpp.o.d"
+  "test_link_switch"
+  "test_link_switch.pdb"
+  "test_link_switch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llc.dir/test_llc.cpp.o"
+  "CMakeFiles/test_llc.dir/test_llc.cpp.o.d"
+  "test_llc"
+  "test_llc.pdb"
+  "test_llc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_netdimm.dir/test_multi_netdimm.cpp.o"
+  "CMakeFiles/test_multi_netdimm.dir/test_multi_netdimm.cpp.o.d"
+  "test_multi_netdimm"
+  "test_multi_netdimm.pdb"
+  "test_multi_netdimm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_netdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

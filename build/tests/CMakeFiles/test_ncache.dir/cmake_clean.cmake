@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ncache.dir/test_ncache.cpp.o"
+  "CMakeFiles/test_ncache.dir/test_ncache.cpp.o.d"
+  "test_ncache"
+  "test_ncache.pdb"
+  "test_ncache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ncache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netdimm_device.dir/test_netdimm_device.cpp.o"
+  "CMakeFiles/test_netdimm_device.dir/test_netdimm_device.cpp.o.d"
+  "test_netdimm_device"
+  "test_netdimm_device.pdb"
+  "test_netdimm_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netdimm_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

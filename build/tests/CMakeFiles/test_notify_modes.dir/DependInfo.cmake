@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_notify_modes.cpp" "tests/CMakeFiles/test_notify_modes.dir/test_notify_modes.cpp.o" "gcc" "tests/CMakeFiles/test_notify_modes.dir/test_notify_modes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/nd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/nd_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdimm/CMakeFiles/nd_netdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/nd_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/nd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/nd_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/nd_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvdimm/CMakeFiles/nd_nvdimm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nd_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

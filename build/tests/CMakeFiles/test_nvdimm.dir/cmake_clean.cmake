@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvdimm.dir/test_nvdimm.cpp.o"
+  "CMakeFiles/test_nvdimm.dir/test_nvdimm.cpp.o.d"
+  "test_nvdimm"
+  "test_nvdimm.pdb"
+  "test_nvdimm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvdimm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_allocator.dir/test_page_allocator.cpp.o"
+  "CMakeFiles/test_page_allocator.dir/test_page_allocator.cpp.o.d"
+  "test_page_allocator"
+  "test_page_allocator.pdb"
+  "test_page_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

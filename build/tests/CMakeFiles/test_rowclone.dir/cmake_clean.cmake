@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rowclone.dir/test_rowclone.cpp.o"
+  "CMakeFiles/test_rowclone.dir/test_rowclone.cpp.o.d"
+  "test_rowclone"
+  "test_rowclone.pdb"
+  "test_rowclone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rowclone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
