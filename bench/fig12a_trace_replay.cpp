@@ -12,10 +12,12 @@
  */
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <vector>
 
 #include "net/Switch.hh"
+#include "transport/TransportHost.hh"
 #include "workload/TraceGen.hh"
 #include "kernel/Node.hh"
 
@@ -85,12 +87,82 @@ replayMeanLatencyUs(ClusterType cluster, NicKind kind,
     return measured ? sum_us / measured : 0.0;
 }
 
+/**
+ * The same replay with the reliable transport in the loop: trace
+ * records are enqueued on eight go-back-N flows instead of being
+ * injected as raw frames, so per-packet latency includes pacing and
+ * (under loss) retransmission. The fabric carries every segment at
+ * intra-cluster locality since segments no longer map 1:1 to trace
+ * records.
+ */
+double
+replayReliableMeanLatencyUs(ClusterType cluster, NicKind kind,
+                            double switch_ns, int npackets)
+{
+    SystemConfig cfg;
+    cfg.nic = kind;
+    cfg.eth.switchLatency = nsToTicks(switch_ns);
+
+    EventQueue eq;
+    Node tx(eq, "tx", cfg, 0);
+    Node rx(eq, "rx", cfg, 1);
+    ClosFabric fabric(eq, "fabric", cfg.eth);
+    fabric.attach(0, tx.endpoint());
+    fabric.attach(1, rx.endpoint());
+    fabric.setDefaultLocality(TrafficLocality::IntraCluster);
+    tx.setWire([&](const PacketPtr &pkt) { fabric.deliver(pkt); });
+    rx.setWire([&](const PacketPtr &pkt) { fabric.deliver(pkt); });
+
+    TransportHost txHost(eq, "txhost", tx);
+    TransportHost rxHost(eq, "rxhost", rx);
+
+    double sum_us = 0.0;
+    int measured = 0;
+    int seen = 0;
+    int warmup = npackets / 10;
+    std::vector<std::unique_ptr<TransportFlow>> flows;
+    for (int p = 0; p < 8; ++p) {
+        auto flow = std::make_unique<TransportFlow>(
+            eq, "flow" + std::to_string(p), cfg.transport, 1 + p);
+        connectFlow(*flow, txHost, rxHost);
+        flow->setDeliveryHandler(
+            [&](const PacketPtr &pkt, Tick) {
+                if (seen++ >= warmup) {
+                    sum_us += ticksToUs(pkt->oneWayLatency());
+                    ++measured;
+                }
+            });
+        flows.push_back(std::move(flow));
+    }
+
+    TraceGen gen(cluster, 5.0, 12345);
+    Tick t = 0;
+    for (int i = 0; i < npackets; ++i) {
+        TraceRecord rec = gen.next();
+        t += rec.interArrival;
+        TransportFlow *f = flows[std::size_t(i % 8)].get();
+        eq.schedule(t, [f, rec] { f->send(rec.bytes); });
+    }
+    eq.schedule(t, [&flows] {
+        for (auto &f : flows)
+            f->close();
+    });
+    eq.run();
+    return measured ? sum_us / measured : 0.0;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    bool reliable = false;
+    for (int a = 1; a < argc; ++a)
+        if (std::strcmp(argv[a], "--reliable") == 0)
+            reliable = true;
+    auto replay = reliable ? replayReliableMeanLatencyUs
+                           : replayMeanLatencyUs;
     const int npackets = 1500;
     const std::vector<double> switch_ns = {25, 50, 100, 200};
     const std::vector<ClusterType> clusters = {ClusterType::Database,
@@ -98,7 +170,8 @@ main()
                                                ClusterType::Hadoop};
 
     std::printf("=== Fig. 12(a): per-packet latency, Facebook trace "
-                "replay over clos fabric ===\n");
+                "replay over clos fabric (%s) ===\n",
+                reliable ? "reliable transport" : "raw frames");
 
     // normalized[cluster][switch] for the two baselines.
     double avg_vs_dnic[4] = {0, 0, 0, 0};
@@ -110,12 +183,12 @@ main()
                     "dNIC(us)", "iNIC(us)", "NetDIMM", "vs dNIC",
                     "vs iNIC");
         for (std::size_t s = 0; s < switch_ns.size(); ++s) {
-            double d = replayMeanLatencyUs(c, NicKind::Discrete,
-                                           switch_ns[s], npackets);
-            double i = replayMeanLatencyUs(c, NicKind::Integrated,
-                                           switch_ns[s], npackets);
-            double n = replayMeanLatencyUs(c, NicKind::NetDimm,
-                                           switch_ns[s], npackets);
+            double d = replay(c, NicKind::Discrete, switch_ns[s],
+                              npackets);
+            double i = replay(c, NicKind::Integrated, switch_ns[s],
+                              npackets);
+            double n = replay(c, NicKind::NetDimm, switch_ns[s],
+                              npackets);
             double gd = 100.0 * (1.0 - n / d);
             double gi = 100.0 * (1.0 - n / i);
             avg_vs_dnic[s] += gd / double(clusters.size());

@@ -44,6 +44,26 @@ EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
     _frames.inc();
     _bytes.inc(pkt->bytes);
 
+    // The fault hook judges the frame as it occupies the wire: a
+    // dropped frame still consumed its serialization slot.
+    if (_fault) {
+        switch (_fault->judge(pkt)) {
+          case LinkFaultHook::Verdict::Deliver:
+            break;
+          case LinkFaultHook::Verdict::Drop:
+            _dropsFault.inc();
+            debugLog("%s: dropped frame %llu (seq %llu) on the wire",
+                     name().c_str(),
+                     static_cast<unsigned long long>(pkt->id),
+                     static_cast<unsigned long long>(pkt->seq));
+            return;
+          case LinkFaultHook::Verdict::Corrupt:
+            _corruptFault.inc();
+            pkt->corrupted = true;
+            break;
+        }
+    }
+
     eventq().schedule(arrival, [to, pkt] { to->deliver(pkt); });
 }
 

@@ -31,6 +31,27 @@ class NetEndpoint
     virtual void deliver(const PacketPtr &pkt) = 0;
 };
 
+/**
+ * Per-frame fault decision hook attached to a link. Implemented by
+ * transport::FaultInjector; the interface lives here so nd_net does
+ * not depend on nd_transport.
+ */
+class LinkFaultHook
+{
+  public:
+    enum class Verdict
+    {
+        Deliver, ///< frame arrives intact
+        Drop,    ///< frame vanishes on the wire
+        Corrupt, ///< frame arrives with a bad FCS and is dropped by
+                 ///< the receiving MAC
+    };
+
+    virtual ~LinkFaultHook() = default;
+    /** Judge one frame about to traverse the link. */
+    virtual Verdict judge(const PacketPtr &pkt) = 0;
+};
+
 class EthLink : public SimObject
 {
   public:
@@ -49,8 +70,21 @@ class EthLink : public SimObject
     /** Serialization time of one frame carrying @p bytes payload. */
     Tick frameTicks(std::uint32_t bytes) const;
 
+    /**
+     * Install a fault hook judging every frame; nullptr (default)
+     * makes the link lossless. The hook is not owned.
+     */
+    void setFaultHook(LinkFaultHook *hook) { _fault = hook; }
+
     std::uint64_t framesCarried() const { return _frames.value(); }
     std::uint64_t bytesCarried() const { return _bytes.value(); }
+    /** Frames dropped on the wire by the fault hook. */
+    std::uint64_t framesDropped() const { return _dropsFault.value(); }
+    /** Frames delivered with a corrupted payload (FCS fail). */
+    std::uint64_t framesCorrupted() const
+    {
+        return _corruptFault.value();
+    }
 
     /** Achieved goodput since construction, Gbps. */
     double goodputGbps() const;
@@ -59,11 +93,14 @@ class EthLink : public SimObject
     const EthConfig _cfg;
     NetEndpoint *_endA = nullptr;
     NetEndpoint *_endB = nullptr;
+    LinkFaultHook *_fault = nullptr;
     /** Per-direction transmitter-free times: [0]=A->B, [1]=B->A. */
     Tick _txFree[2] = {0, 0};
 
     stats::Scalar _frames;
     stats::Scalar _bytes;
+    stats::Scalar _dropsFault;
+    stats::Scalar _corruptFault;
 };
 
 } // namespace netdimm

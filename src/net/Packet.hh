@@ -109,6 +109,22 @@ struct Packet
     Tick pcieTicks = 0;
     LatencyBreakdown lat{};
 
+    // -- transport header (src/transport) -----------------------------
+    /** Per-flow sequence number of a data segment. */
+    std::uint64_t seq = 0;
+    /** Next expected sequence number (cumulative ACK). */
+    std::uint64_t ackSeq = 0;
+    /** This frame is a transport acknowledgment. */
+    bool isAck = false;
+    /** Congestion-experienced mark set by a switch egress queue. */
+    bool ecnMarked = false;
+    /** ACK echoes an ECN mark back to the sender. */
+    bool ecnEcho = false;
+    /** Frame corrupted in flight; the receiving MAC drops it (FCS). */
+    bool corrupted = false;
+    /** This segment is a retransmission. */
+    bool retransmit = false;
+
     /** Number of cachelines the payload spans (1..24 for <= MTU). */
     std::uint32_t
     lines() const

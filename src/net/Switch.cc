@@ -3,8 +3,16 @@
 namespace netdimm
 {
 
-Switch::Switch(EventQueue &eq, std::string name, Tick port_latency)
-    : SimObject(eq, std::move(name)), _portLatency(port_latency)
+Switch::Switch(EventQueue &eq, std::string name, Tick port_latency,
+               std::uint32_t queue_frames, std::uint32_t ecn_threshold)
+    : SimObject(eq, std::move(name)), _portLatency(port_latency),
+      _queueFrames(queue_frames), _ecnThreshold(ecn_threshold)
+{
+}
+
+Switch::Switch(EventQueue &eq, std::string name, const EthConfig &cfg)
+    : Switch(eq, std::move(name), cfg.switchLatency,
+             cfg.switchQueueFrames, cfg.ecnThresholdFrames)
 {
 }
 
@@ -15,6 +23,15 @@ Switch::addRoute(std::uint32_t node_id, EthLink *out)
     _routes[node_id] = out;
 }
 
+std::size_t
+Switch::queueDepth(const EthLink *out) const
+{
+    auto it = _ports.find(const_cast<EthLink *>(out));
+    if (it == _ports.end())
+        return 0;
+    return it->second.queue.size() + (it->second.draining ? 1 : 0);
+}
+
 void
 Switch::deliver(const PacketPtr &pkt)
 {
@@ -22,13 +39,60 @@ Switch::deliver(const PacketPtr &pkt)
     auto it = _routes.find(pkt->dstNode);
     if (it != _routes.end())
         out = it->second;
-    if (!out)
-        panic("%s: no route for node %u", name().c_str(), pkt->dstNode);
+    if (!out) {
+        _dropsNoRoute.inc();
+        debugLog("%s: no route for node %u, dropping frame %llu",
+                 name().c_str(), pkt->dstNode,
+                 static_cast<unsigned long long>(pkt->id));
+        return;
+    }
 
-    _frames.inc();
     pkt->lat.add(LatComp::Wire, _portLatency);
     EthLink *link = out;
-    scheduleRel(_portLatency, [this, link, pkt] { link->send(this, pkt); });
+    scheduleRel(_portLatency,
+                [this, link, pkt] { enqueue(link, pkt); });
+}
+
+void
+Switch::enqueue(EthLink *out, const PacketPtr &pkt)
+{
+    Port &port = _ports[out];
+    // Occupancy counts the frame on the transmitter plus the queue.
+    std::size_t depth = port.queue.size() + (port.draining ? 1 : 0);
+    if (_queueFrames > 0 && depth >= _queueFrames) {
+        _dropsQueue.inc();
+        debugLog("%s: egress queue to %s full (%zu), tail-dropping "
+                 "frame %llu",
+                 name().c_str(), out->name().c_str(), depth,
+                 static_cast<unsigned long long>(pkt->id));
+        return;
+    }
+    if (_ecnThreshold > 0 && depth >= _ecnThreshold) {
+        pkt->ecnMarked = true;
+        _ecnMarks.inc();
+    }
+    _frames.inc();
+    _maxDepth = std::max<std::uint64_t>(_maxDepth, depth + 1);
+    port.queue.push_back(pkt);
+    if (!port.draining)
+        drain(out);
+}
+
+void
+Switch::drain(EthLink *out)
+{
+    Port &port = _ports.at(out);
+    if (port.queue.empty()) {
+        port.draining = false;
+        return;
+    }
+    port.draining = true;
+    PacketPtr pkt = port.queue.front();
+    port.queue.pop_front();
+    out->send(this, pkt);
+    // The next frame may start once this one finished serializing.
+    scheduleRel(out->frameTicks(pkt->bytes),
+                [this, out] { drain(out); });
 }
 
 std::uint32_t

@@ -9,6 +9,7 @@
 #define NETDIMM_NET_SWITCH_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
@@ -21,12 +22,27 @@ namespace netdimm
 /**
  * An output-queued switch. A frame arriving on any port is looked up
  * by destination node id, delayed by the port-to-port latency, and
- * transmitted on the owning output link (which serializes it).
+ * enqueued at the output port's finite egress queue. The queue drains
+ * at the output link's serialization rate; a frame arriving at a full
+ * queue is tail-dropped, and frames enqueued at or above the ECN
+ * threshold are marked congestion-experienced (the signal the
+ * transport layer's DCQCN-style rate controller reacts to).
  */
 class Switch : public SimObject, public NetEndpoint
 {
   public:
-    Switch(EventQueue &eq, std::string name, Tick port_latency);
+    /**
+     * @param queue_frames per-port egress capacity in frames; 0 means
+     *        unbounded (the idealized lossless model).
+     * @param ecn_threshold egress depth at/above which frames are
+     *        ECN-marked; 0 disables marking.
+     */
+    Switch(EventQueue &eq, std::string name, Tick port_latency,
+           std::uint32_t queue_frames = 0,
+           std::uint32_t ecn_threshold = 0);
+
+    /** Convenience: queue/ECN/latency parameters from @p cfg. */
+    Switch(EventQueue &eq, std::string name, const EthConfig &cfg);
 
     /** Frames destined to @p node_id leave through @p out. */
     void addRoute(std::uint32_t node_id, EthLink *out);
@@ -37,12 +53,43 @@ class Switch : public SimObject, public NetEndpoint
     void deliver(const PacketPtr &pkt) override;
 
     std::uint64_t framesForwarded() const { return _frames.value(); }
+    /** Frames tail-dropped at a full egress queue. */
+    std::uint64_t dropsQueue() const { return _dropsQueue.value(); }
+    /** Frames dropped for lack of a route (and no default route). */
+    std::uint64_t dropsNoRoute() const
+    {
+        return _dropsNoRoute.value();
+    }
+    /** Frames ECN-marked at enqueue. */
+    std::uint64_t ecnMarks() const { return _ecnMarks.value(); }
+    /** Deepest egress queue observed (frames), across all ports. */
+    std::uint64_t maxQueueDepth() const { return _maxDepth; }
+    /** Egress depth (frames) currently queued toward @p out. */
+    std::size_t queueDepth(const EthLink *out) const;
 
   private:
+    /** Egress state of one output link. */
+    struct Port
+    {
+        std::deque<PacketPtr> queue;
+        /** A frame is occupying the transmitter. */
+        bool draining = false;
+    };
+
     Tick _portLatency;
+    std::uint32_t _queueFrames;
+    std::uint32_t _ecnThreshold;
     std::map<std::uint32_t, EthLink *> _routes;
     EthLink *_defaultRoute = nullptr;
+    std::map<EthLink *, Port> _ports;
     stats::Scalar _frames;
+    stats::Scalar _dropsQueue;
+    stats::Scalar _dropsNoRoute;
+    stats::Scalar _ecnMarks;
+    std::uint64_t _maxDepth = 0;
+
+    void enqueue(EthLink *out, const PacketPtr &pkt);
+    void drain(EthLink *out);
 };
 
 /**

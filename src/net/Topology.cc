@@ -12,13 +12,11 @@ LeafSpineTopology::LeafSpineTopology(EventQueue &eq, std::string name,
     ND_ASSERT(leaves > 0 && spines > 0);
     for (std::uint32_t l = 0; l < leaves; ++l) {
         _leaves.push_back(std::make_unique<Switch>(
-            eq, this->name() + ".leaf" + std::to_string(l),
-            cfg.switchLatency));
+            eq, this->name() + ".leaf" + std::to_string(l), cfg));
     }
     for (std::uint32_t s = 0; s < spines; ++s) {
         _spines.push_back(std::make_unique<Switch>(
-            eq, this->name() + ".spine" + std::to_string(s),
-            cfg.switchLatency));
+            eq, this->name() + ".spine" + std::to_string(s), cfg));
     }
     _up.resize(leaves);
     for (std::uint32_t l = 0; l < leaves; ++l) {

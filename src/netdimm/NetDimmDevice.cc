@@ -215,6 +215,11 @@ NetDimmDevice::postRxBuffer(Addr buf)
 void
 NetDimmDevice::deliver(const PacketPtr &pkt)
 {
+    // nNIC MAC drops corrupted frames at the FCS check.
+    if (pkt->corrupted) {
+        _rxDrops.inc();
+        return;
+    }
     if (_rxRing.empty()) {
         _rxDrops.inc();
         return;

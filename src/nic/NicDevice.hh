@@ -73,7 +73,17 @@ class NicDevice : public SimObject, public NetEndpoint
     }
 
     /** Wire side: frame arrived (NetEndpoint). */
-    void deliver(const PacketPtr &pkt) override { rxPath(pkt); }
+    void
+    deliver(const PacketPtr &pkt) override
+    {
+        // The MAC verifies the FCS before anything else touches the
+        // frame; a corrupted frame is dropped silently.
+        if (pkt->corrupted) {
+            dropRx(pkt);
+            return;
+        }
+        rxPath(pkt);
+    }
 
     DescriptorRing &txRing() { return _txRing; }
     DescriptorRing &rxRing() { return _rxRing; }

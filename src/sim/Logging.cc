@@ -9,6 +9,7 @@ namespace netdimm
 namespace
 {
 bool quietFlag = false;
+bool debugFlag = std::getenv("NETDIMM_DEBUG") != nullptr;
 
 void
 vreport(const char *tag, const char *fmt, std::va_list ap)
@@ -29,6 +30,29 @@ bool
 isQuiet()
 {
     return quietFlag;
+}
+
+void
+setDebug(bool debug)
+{
+    debugFlag = debug;
+}
+
+bool
+isDebug()
+{
+    return debugFlag;
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (!debugFlag)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", fmt, ap);
+    va_end(ap);
 }
 
 void

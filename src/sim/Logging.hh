@@ -32,11 +32,24 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Print a formatted status message to stderr. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/**
+ * Print a formatted debug message to stderr. Off by default; enable
+ * with setDebug(true) or the NETDIMM_DEBUG environment variable.
+ */
+void debugLog(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
 /** Globally silence warn()/inform() (benches use this). */
 void setQuiet(bool quiet);
 
 /** @return true if warn()/inform() are silenced. */
 bool isQuiet();
+
+/** Globally enable debugLog() output. */
+void setDebug(bool debug);
+
+/** @return true if debugLog() output is enabled. */
+bool isDebug();
 
 } // namespace netdimm
 

@@ -207,6 +207,61 @@ struct EthConfig
     Tick propagation = nsToTicks(25);
     /** MAC/PHY pipeline at each endpoint, in ticks. */
     Tick macLatency = nsToTicks(25);
+    /**
+     * Per-port egress queue capacity at a switch, in frames; a frame
+     * arriving at a full queue is tail-dropped. 0 = unbounded (the
+     * pre-congestion idealized model).
+     */
+    std::uint32_t switchQueueFrames = 64;
+    /**
+     * Egress queue depth at or above which enqueued frames are
+     * ECN-marked (congestion experienced). 0 disables marking.
+     */
+    std::uint32_t ecnThresholdFrames = 16;
+};
+
+/**
+ * Reliable transport parameters (src/transport): go-back-N window,
+ * retransmission timer, and the DCQCN-flavored rate controller
+ * (multiplicative decrease on ECN echo, fast-recovery / additive /
+ * hyper rate increase; Zhu et al., SIGCOMM'15).
+ */
+struct TransportConfig
+{
+    /** Maximum payload per data segment, bytes. */
+    std::uint32_t segmentBytes = 1460;
+    /** Go-back-N window: unacknowledged segments in flight. */
+    std::uint32_t window = 32;
+    /** Size of an ACK frame on the wire, bytes. */
+    std::uint32_t ackBytes = 64;
+    /** Initial retransmission timeout. */
+    Tick minRto = usToTicks(100);
+    /** RTO exponential backoff ceiling. */
+    Tick maxRto = usToTicks(3200);
+    /** Consecutive RTO expiries before the flow aborts. */
+    std::uint32_t maxRetries = 8;
+    /** Duplicate cumulative ACKs triggering fast go-back-N. */
+    std::uint32_t dupAckThreshold = 3;
+
+    // -- DCQCN-flavored rate control -----------------------------------
+    /** Line rate: the pacing ceiling, Gbps. */
+    double lineRateGbps = 40.0;
+    /** Rate floor the controller never cuts below, Gbps. */
+    double minRateGbps = 0.5;
+    /** EWMA gain g for the congestion estimate alpha. */
+    double alphaGain = 1.0 / 16.0;
+    /** Minimum spacing between successive rate cuts. */
+    Tick rateCutHoldoff = usToTicks(50);
+    /** Period of the rate-increase / alpha-decay timer. */
+    Tick rateIncreaseInterval = usToTicks(55);
+    /** Fast-recovery rounds (current converges on target). */
+    std::uint32_t fastRecoveryRounds = 5;
+    /** Additive increase step Rai, Gbps. */
+    double additiveIncreaseGbps = 2.0;
+    /** Hyper increase step Rhai after prolonged calm, Gbps. */
+    double hyperIncreaseGbps = 8.0;
+    /** Hyper-increase kicks in after this many increase rounds. */
+    std::uint32_t hyperRounds = 10;
 };
 
 /** RowClone timing (Sec. 4.1 / Seshadri et al. [61]). */
@@ -386,6 +441,7 @@ struct SystemConfig
     MemCtrlConfig memCtrl{};
     PcieConfig pcie{};
     EthConfig eth{};
+    TransportConfig transport{};
     NetDimmConfig netdimm{};
     NicModelConfig nicModel{};
     SoftwareConfig sw{};

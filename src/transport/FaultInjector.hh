@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Probabilistic link fault injection.
+ *
+ * A FaultInjector attaches to an EthLink (LinkFaultHook) and makes
+ * independent, seeded per-frame decisions to drop or corrupt frames,
+ * so loss can be studied even without congestion. All randomness
+ * comes from a private PCG32 stream: the same seed reproduces the
+ * same drop pattern bit-for-bit.
+ */
+
+#ifndef NETDIMM_TRANSPORT_FAULTINJECTOR_HH
+#define NETDIMM_TRANSPORT_FAULTINJECTOR_HH
+
+#include "net/Link.hh"
+#include "sim/Random.hh"
+#include "sim/Stats.hh"
+
+namespace netdimm
+{
+
+/** Loss model of one faulty link. */
+struct FaultConfig
+{
+    /** Probability a frame vanishes on the wire. */
+    double dropProb = 0.0;
+    /** Probability a frame arrives with a bad FCS. */
+    double corruptProb = 0.0;
+    /** Seed of the injector's private random stream. */
+    std::uint64_t seed = 1;
+};
+
+class FaultInjector : public LinkFaultHook
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg)
+        : _cfg(cfg), _rng(cfg.seed, 0x5bf0f5da61a9e5a5ull)
+    {
+        ND_ASSERT(cfg.dropProb >= 0.0 && cfg.dropProb <= 1.0);
+        ND_ASSERT(cfg.corruptProb >= 0.0 && cfg.corruptProb <= 1.0);
+    }
+
+    Verdict
+    judge(const PacketPtr &) override
+    {
+        _judged.inc();
+        // One uniform draw per frame keeps the stream consumption
+        // independent of the configured probabilities.
+        double u = _rng.uniformDouble();
+        if (u < _cfg.dropProb) {
+            _drops.inc();
+            return Verdict::Drop;
+        }
+        if (u < _cfg.dropProb + _cfg.corruptProb) {
+            _corruptions.inc();
+            return Verdict::Corrupt;
+        }
+        return Verdict::Deliver;
+    }
+
+    std::uint64_t framesJudged() const { return _judged.value(); }
+    std::uint64_t framesDropped() const { return _drops.value(); }
+    std::uint64_t framesCorrupted() const
+    {
+        return _corruptions.value();
+    }
+
+  private:
+    const FaultConfig _cfg;
+    Random _rng;
+    stats::Scalar _judged, _drops, _corruptions;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_TRANSPORT_FAULTINJECTOR_HH

@@ -1,0 +1,313 @@
+#include "transport/TransportFlow.hh"
+
+#include <algorithm>
+
+namespace netdimm
+{
+
+TransportFlow::TransportFlow(EventQueue &eq, std::string name,
+                             const TransportConfig &cfg,
+                             std::uint64_t flow_id)
+    : SimObject(eq, std::move(name)), _cfg(cfg), _flowId(flow_id),
+      _rto(cfg.minRto), _rateGbps(cfg.lineRateGbps),
+      _targetGbps(cfg.lineRateGbps)
+{
+    ND_ASSERT(cfg.segmentBytes > 0 && cfg.window > 0);
+}
+
+// ---------------------------------------------------------------------
+// Application API
+// ---------------------------------------------------------------------
+
+void
+TransportFlow::send(std::uint64_t bytes)
+{
+    ND_ASSERT(!_closed);
+    ND_ASSERT(_makeData && _txData);
+    if (!_started) {
+        _started = true;
+        _startTick = curTick();
+    }
+    _enqueuedBytes += bytes;
+    while (bytes > 0) {
+        std::uint32_t seg = std::uint32_t(
+            std::min<std::uint64_t>(bytes, _cfg.segmentBytes));
+        _segments.push_back(seg);
+        bytes -= seg;
+    }
+    kickTx();
+}
+
+void
+TransportFlow::close()
+{
+    _closed = true;
+    finishIfDone();
+}
+
+// ---------------------------------------------------------------------
+// Sender: pacing and transmission
+// ---------------------------------------------------------------------
+
+Tick
+TransportFlow::paceGap(std::uint32_t bytes) const
+{
+    return serializationTicks(bytes, _rateGbps);
+}
+
+void
+TransportFlow::kickTx()
+{
+    if (_txScheduled || _complete || _aborted)
+        return;
+    Tick when = std::max(curTick(), _nextTxAllowed);
+    _txScheduled = true;
+    eventq().schedule(when, [this] { txLoop(); });
+}
+
+void
+TransportFlow::txLoop()
+{
+    _txScheduled = false;
+    if (_complete || _aborted)
+        return;
+    if (curTick() < _nextTxAllowed) {
+        kickTx();
+        return;
+    }
+    if (_next >= _segments.size() || _next - _base >= _cfg.window)
+        return; // woken again by an ACK or fresh data
+
+    std::uint64_t seq = _next++;
+    std::uint32_t bytes = _segments[std::size_t(seq)];
+    PacketPtr pkt = _makeData(bytes, _flowId);
+    pkt->seq = seq;
+    pkt->isAck = false;
+    if (seq < _highWater) {
+        pkt->retransmit = true;
+        _retx.inc();
+    } else {
+        _highWater = seq + 1;
+    }
+    _nextTxAllowed = curTick() + paceGap(bytes);
+    _txData(pkt);
+
+    armRto();
+    armRateTimer();
+    if (_next < _segments.size() && _next - _base < _cfg.window)
+        kickTx();
+}
+
+// ---------------------------------------------------------------------
+// Sender: acknowledgments and retransmission
+// ---------------------------------------------------------------------
+
+void
+TransportFlow::onSenderReceive(const PacketPtr &ack)
+{
+    if (_complete || _aborted || !ack->isAck)
+        return;
+    _acksRx.inc();
+
+    if (ack->ecnEcho) {
+        _ecnEchoes.inc();
+        rateCut();
+    }
+
+    if (ack->ackSeq > _base) {
+        _base = std::min<std::uint64_t>(ack->ackSeq,
+                                        _segments.size());
+        // The ACK may cover segments we were about to re-send after a
+        // go-back-N (the originals made it after all).
+        _next = std::max(_next, _base);
+        _dupAcks = 0;
+        _rtoRetries = 0;
+        _rto = _cfg.minRto;
+        if (_base < _highWater)
+            armRto();
+        else
+            cancelRto();
+        finishIfDone();
+        kickTx();
+    } else if (_base < _highWater && _base >= _recover) {
+        // Duplicate cumulative ACK: the receiver is still waiting for
+        // _base, so something in the window was lost. While a
+        // retransmitted window is still in flight (_base < _recover)
+        // its own duplicates must not trigger another go-back-N, or
+        // each recovery breeds the next (NewReno's recovery point).
+        if (++_dupAcks >= _cfg.dupAckThreshold) {
+            _dupAcks = 0;
+            _recover = _highWater;
+            _fastRetx.inc();
+            debugLog("%s: fast retransmit from seq %llu",
+                     name().c_str(),
+                     static_cast<unsigned long long>(_base));
+            goBackN();
+        }
+    }
+}
+
+void
+TransportFlow::goBackN()
+{
+    _next = _base;
+    _nextTxAllowed = curTick();
+    armRto();
+    kickTx();
+}
+
+void
+TransportFlow::armRto()
+{
+    cancelRto();
+    _rtoArmed = true;
+    _rtoHandle =
+        scheduleRel(_rto, [this] { onRtoExpired(); });
+}
+
+void
+TransportFlow::cancelRto()
+{
+    if (_rtoArmed) {
+        eventq().deschedule(_rtoHandle);
+        _rtoArmed = false;
+    }
+}
+
+void
+TransportFlow::onRtoExpired()
+{
+    _rtoArmed = false;
+    if (_complete || _aborted || _base >= _highWater)
+        return;
+    _timeouts.inc();
+    if (++_rtoRetries > _cfg.maxRetries) {
+        abort();
+        return;
+    }
+    _rto = std::min(_rto * 2, _cfg.maxRto);
+    _recover = _highWater;
+    // Loss with no ECN feedback still signals congestion.
+    rateCut();
+    debugLog("%s: RTO expired (retry %u), go-back-N from seq %llu",
+             name().c_str(), _rtoRetries,
+             static_cast<unsigned long long>(_base));
+    goBackN();
+}
+
+void
+TransportFlow::finishIfDone()
+{
+    if (_complete || _aborted)
+        return;
+    if (!_closed || _base < _segments.size())
+        return;
+    _complete = true;
+    _completeTick = curTick();
+    cancelRto();
+    if (_onComplete)
+        _onComplete(*this);
+}
+
+void
+TransportFlow::abort()
+{
+    _aborted = true;
+    _completeTick = curTick();
+    cancelRto();
+    warn("%s: aborted after %u consecutive RTO expiries (seq %llu of "
+         "%llu acked)",
+         name().c_str(), _cfg.maxRetries,
+         static_cast<unsigned long long>(_base),
+         static_cast<unsigned long long>(_segments.size()));
+    if (_onComplete)
+        _onComplete(*this);
+}
+
+// ---------------------------------------------------------------------
+// DCQCN-flavored rate controller
+// ---------------------------------------------------------------------
+
+void
+TransportFlow::rateCut()
+{
+    if (curTick() - _lastCutTick < _cfg.rateCutHoldoff && _lastCutTick)
+        return;
+    _lastCutTick = curTick();
+    _cutSinceLastTimer = true;
+    _incRounds = 0;
+    _targetGbps = _rateGbps;
+    _rateGbps = std::max(_cfg.minRateGbps,
+                         _rateGbps * (1.0 - _alpha / 2.0));
+    _alpha = (1.0 - _cfg.alphaGain) * _alpha + _cfg.alphaGain;
+    _rateCuts.inc();
+}
+
+void
+TransportFlow::armRateTimer()
+{
+    if (_rateTimerArmed || _complete || _aborted)
+        return;
+    _rateTimerArmed = true;
+    _rateTimerHandle = scheduleRel(_cfg.rateIncreaseInterval,
+                                   [this] { onRateTimer(); });
+}
+
+void
+TransportFlow::onRateTimer()
+{
+    _rateTimerArmed = false;
+    if (_complete || _aborted)
+        return;
+    if (_cutSinceLastTimer) {
+        _cutSinceLastTimer = false;
+    } else {
+        _alpha *= (1.0 - _cfg.alphaGain);
+        ++_incRounds;
+        if (_incRounds > _cfg.hyperRounds)
+            _targetGbps += _cfg.hyperIncreaseGbps;
+        else if (_incRounds > _cfg.fastRecoveryRounds)
+            _targetGbps += _cfg.additiveIncreaseGbps;
+        _targetGbps = std::min(_targetGbps, _cfg.lineRateGbps);
+        _rateGbps =
+            std::min((_targetGbps + _rateGbps) / 2.0,
+                     _cfg.lineRateGbps);
+    }
+    // Keep the timer running while the flow still has work.
+    if (_base < _highWater || _next < _segments.size())
+        armRateTimer();
+}
+
+// ---------------------------------------------------------------------
+// Receiver
+// ---------------------------------------------------------------------
+
+void
+TransportFlow::onReceiverReceive(const PacketPtr &pkt)
+{
+    ND_ASSERT(_makeAck && _txAck);
+    if (pkt->isAck || pkt->corrupted)
+        return;
+
+    bool mark = pkt->ecnMarked;
+    if (pkt->seq == _expected) {
+        ++_expected;
+        _delivered.inc(pkt->bytes);
+        _segsRx.inc();
+        if (_onDelivery)
+            _onDelivery(pkt, curTick());
+    } else if (pkt->seq > _expected) {
+        // Go-back-N: no reorder buffer; the duplicate cumulative ACK
+        // below tells the sender where to resume.
+        _oooDrops.inc();
+    }
+    // else: duplicate of an already-delivered segment; re-ACK.
+
+    PacketPtr ack = _makeAck(_cfg.ackBytes, _flowId);
+    ack->isAck = true;
+    ack->ackSeq = _expected;
+    ack->ecnEcho = mark;
+    _txAck(ack);
+}
+
+} // namespace netdimm

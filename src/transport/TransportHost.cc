@@ -1,0 +1,70 @@
+#include "transport/TransportHost.hh"
+
+namespace netdimm
+{
+
+TransportHost::TransportHost(EventQueue &eq, std::string name,
+                             Node &node)
+    : SimObject(eq, std::move(name)), _node(node)
+{
+    _node.setReceiveHandler(
+        [this](const PacketPtr &pkt, Tick t) { onReceive(pkt, t); });
+}
+
+void
+TransportHost::attachSender(TransportFlow &flow,
+                            std::uint32_t dst_node)
+{
+    ND_ASSERT(!_senders.count(flow.flowId()));
+    _senders[flow.flowId()] = &flow;
+    Node *node = &_node;
+    flow.bindSender(
+        [node, dst_node](std::uint32_t bytes, std::uint64_t fid) {
+            return node->makeTxPacket(bytes, dst_node, fid);
+        },
+        [node](const PacketPtr &pkt) { node->sendPacket(pkt); });
+}
+
+void
+TransportHost::attachReceiver(TransportFlow &flow,
+                              std::uint32_t ack_dst_node)
+{
+    ND_ASSERT(!_receivers.count(flow.flowId()));
+    _receivers[flow.flowId()] = &flow;
+    Node *node = &_node;
+    flow.bindReceiver(
+        [node, ack_dst_node](std::uint32_t bytes, std::uint64_t fid) {
+            return node->makeTxPacket(bytes, ack_dst_node, fid);
+        },
+        [node](const PacketPtr &pkt) { node->sendPacket(pkt); });
+}
+
+void
+TransportHost::onReceive(const PacketPtr &pkt, Tick t)
+{
+    if (pkt->isAck) {
+        auto it = _senders.find(pkt->flowId);
+        if (it != _senders.end()) {
+            it->second->onSenderReceive(pkt);
+            return;
+        }
+    } else {
+        auto it = _receivers.find(pkt->flowId);
+        if (it != _receivers.end()) {
+            it->second->onReceiverReceive(pkt);
+            return;
+        }
+    }
+    if (_rawHandler)
+        _rawHandler(pkt, t);
+}
+
+void
+connectFlow(TransportFlow &flow, TransportHost &sender,
+            TransportHost &receiver)
+{
+    sender.attachSender(flow, receiver.node().id());
+    receiver.attachReceiver(flow, sender.node().id());
+}
+
+} // namespace netdimm

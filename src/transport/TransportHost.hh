@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-node transport demultiplexer.
+ *
+ * A Node exposes a single receive handler; TransportHost claims it
+ * and routes incoming frames to the registered TransportFlow halves
+ * by flow id (ACKs to sender halves, data to receiver halves).
+ * Frames belonging to no reliable flow fall through to an optional
+ * raw handler, so reliable and raw traffic can share a node.
+ */
+
+#ifndef NETDIMM_TRANSPORT_TRANSPORTHOST_HH
+#define NETDIMM_TRANSPORT_TRANSPORTHOST_HH
+
+#include <map>
+
+#include "kernel/Node.hh"
+#include "transport/TransportFlow.hh"
+
+namespace netdimm
+{
+
+class TransportHost : public SimObject
+{
+  public:
+    TransportHost(EventQueue &eq, std::string name, Node &node);
+
+    Node &node() { return _node; }
+
+    /**
+     * Register @p flow's sender half on this node; data segments are
+     * addressed to node @p dst_node.
+     */
+    void attachSender(TransportFlow &flow, std::uint32_t dst_node);
+
+    /**
+     * Register @p flow's receiver half on this node; ACKs are
+     * addressed back to node @p ack_dst_node.
+     */
+    void attachReceiver(TransportFlow &flow,
+                        std::uint32_t ack_dst_node);
+
+    /** Handler for frames that belong to no reliable flow. */
+    void setRawHandler(Driver::RxHandler h)
+    {
+        _rawHandler = std::move(h);
+    }
+
+  private:
+    Node &_node;
+    std::map<std::uint64_t, TransportFlow *> _senders;
+    std::map<std::uint64_t, TransportFlow *> _receivers;
+    Driver::RxHandler _rawHandler;
+
+    void onReceive(const PacketPtr &pkt, Tick t);
+};
+
+/**
+ * Convenience wiring of one flow between two hosts: @p flow sends
+ * from @p sender's node to @p receiver's node.
+ */
+void connectFlow(TransportFlow &flow, TransportHost &sender,
+                 TransportHost &receiver);
+
+} // namespace netdimm
+
+#endif // NETDIMM_TRANSPORT_TRANSPORTHOST_HH

@@ -1,5 +1,7 @@
 #include "workload/IperfFlow.hh"
 
+#include <algorithm>
+
 namespace netdimm
 {
 
@@ -30,12 +32,68 @@ IperfFlow::IperfFlow(EventQueue &eq, std::string name, Node &sender,
 }
 
 void
+IperfFlow::enableReliable(const TransportConfig &cfg)
+{
+    ND_ASSERT(!_running && _flows.empty());
+    TransportConfig fcfg = cfg;
+    fcfg.segmentBytes = _segBytes;
+    // TransportHost claims both nodes' receive handlers, replacing
+    // the raw self-clocking exchange installed by the constructor.
+    _txHost = std::make_unique<TransportHost>(
+        eventq(), name() + ".txhost", _sender);
+    _rxHost = std::make_unique<TransportHost>(
+        eventq(), name() + ".rxhost", _receiver);
+    for (std::uint32_t p = 0; p < _parallel; ++p) {
+        auto flow = std::make_unique<TransportFlow>(
+            eventq(), name() + ".flow" + std::to_string(p), fcfg,
+            /*flow_id=*/1 + p);
+        connectFlow(*flow, *_txHost, *_rxHost);
+        TransportFlow *f = flow.get();
+        // Self-clocking refill: every delivered segment enqueues the
+        // next one, like the raw mode's ACK-released segments.
+        flow->setDeliveryHandler(
+            [this, f](const PacketPtr &pkt, Tick) {
+                _bytes.inc(pkt->bytes);
+                _segs.inc();
+                if (_running)
+                    f->send(_segBytes);
+            });
+        _flows.push_back(std::move(flow));
+    }
+}
+
+void
 IperfFlow::start()
 {
     _running = true;
     _startTick = curTick();
+    if (!_flows.empty()) {
+        std::uint32_t per_flow =
+            std::max(1u, _window / std::uint32_t(_flows.size()));
+        for (auto &f : _flows)
+            f->send(std::uint64_t(per_flow) * _segBytes);
+        return;
+    }
     for (std::uint32_t i = 0; i < _window; ++i)
         sendSegment();
+}
+
+std::uint64_t
+IperfFlow::retransmissions() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : _flows)
+        n += f->retransmissions();
+    return n;
+}
+
+std::uint64_t
+IperfFlow::ecnEchoes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : _flows)
+        n += f->ecnEchoes();
+    return n;
 }
 
 void

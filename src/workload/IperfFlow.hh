@@ -14,9 +14,13 @@
 #ifndef NETDIMM_WORKLOAD_IPERFFLOW_HH
 #define NETDIMM_WORKLOAD_IPERFFLOW_HH
 
+#include <memory>
+#include <vector>
+
 #include "kernel/Node.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
+#include "transport/TransportHost.hh"
 
 namespace netdimm
 {
@@ -37,11 +41,27 @@ class IperfFlow : public SimObject
               Node &receiver, std::uint32_t segment_bytes = 1460,
               std::uint32_t window = 32, std::uint32_t parallel = 1);
 
+    /**
+     * Run the flow over the reliable transport (src/transport)
+     * instead of the raw self-clocking exchange: each parallel
+     * stream becomes one TransportFlow with go-back-N retransmission
+     * and DCQCN-style rate control, so the flow survives lossy links
+     * and finite switch queues. Must be called before start().
+     */
+    void enableReliable(const TransportConfig &cfg);
+
     void start();
     void stop() { _running = false; }
 
+    bool reliable() const { return !_flows.empty(); }
+
     std::uint64_t deliveredBytes() const { return _bytes.value(); }
     std::uint64_t deliveredSegments() const { return _segs.value(); }
+
+    /** Total retransmitted segments (reliable mode only). */
+    std::uint64_t retransmissions() const;
+    /** Total ECN echoes seen by the senders (reliable mode only). */
+    std::uint64_t ecnEchoes() const;
 
     /** Goodput measured at the receiver since start(), Gbps. */
     double goodputGbps() const;
@@ -55,6 +75,10 @@ class IperfFlow : public SimObject
     std::uint64_t _seq = 0;
     bool _running = false;
     Tick _startTick = 0;
+
+    /** Reliable-mode plumbing; empty in raw mode. */
+    std::unique_ptr<TransportHost> _txHost, _rxHost;
+    std::vector<std::unique_ptr<TransportFlow>> _flows;
 
     stats::Scalar _bytes, _segs;
 

@@ -126,11 +126,105 @@ TEST(Switch, AddsPortLatency)
                   cfg.macLatency);
 }
 
-TEST(SwitchDeath, NoRouteIsPanic)
+TEST(Switch, NoRouteDropsAndCounts)
 {
     EventQueue eq;
     Switch sw(eq, "sw", 0);
-    EXPECT_DEATH(sw.deliver(makePacket(64, 0, 5)), "no route");
+    // Unknown destination with no default route: the frame is
+    // dropped and counted, not a simulator abort.
+    sw.deliver(makePacket(64, 0, 5));
+    sw.deliver(makePacket(64, 0, 6));
+    eq.run();
+    EXPECT_EQ(sw.dropsNoRoute(), 2u);
+    EXPECT_EQ(sw.framesForwarded(), 0u);
+}
+
+TEST(Switch, DefaultRouteCatchesUnknownDestinations)
+{
+    EventQueue eq;
+    EthConfig cfg;
+    Switch sw(eq, "sw", cfg.switchLatency);
+    EthLink def(eq, "def", cfg), known(eq, "known", cfg);
+    SinkEndpoint nd(eq), nk(eq);
+    def.connect(&sw, &nd);
+    known.connect(&sw, &nk);
+    sw.addRoute(1, &known);
+    sw.setDefaultRoute(&def);
+
+    sw.deliver(makePacket(128, 0, 1)); // routed
+    sw.deliver(makePacket(128, 0, 9)); // unknown -> default
+    eq.run();
+    EXPECT_EQ(nk.got.size(), 1u);
+    EXPECT_EQ(nd.got.size(), 1u);
+    EXPECT_EQ(sw.dropsNoRoute(), 0u);
+}
+
+TEST(Switch, FiniteEgressQueueTailDrops)
+{
+    EventQueue eq;
+    EthConfig cfg;
+    // Queue of 4 frames, no ECN; zero port latency so all ten frames
+    // contend for the egress at the same tick.
+    Switch sw(eq, "sw", 0, /*queue_frames=*/4, /*ecn_threshold=*/0);
+    EthLink l(eq, "l", cfg);
+    SinkEndpoint n(eq);
+    l.connect(&sw, &n);
+    sw.setDefaultRoute(&l);
+
+    for (int i = 0; i < 10; ++i)
+        sw.deliver(makePacket(1460, 0, 1));
+    eq.run();
+
+    EXPECT_EQ(n.got.size(), 4u);
+    EXPECT_EQ(sw.dropsQueue(), 6u);
+    EXPECT_EQ(sw.framesForwarded(), 4u);
+    EXPECT_EQ(sw.maxQueueDepth(), 4u);
+    // Accepted frames drain at the link's serialization rate.
+    ASSERT_EQ(n.got.size(), 4u);
+    EXPECT_EQ(n.got[1].second - n.got[0].second,
+              l.frameTicks(1460));
+}
+
+TEST(Switch, EcnMarksAboveThreshold)
+{
+    EventQueue eq;
+    EthConfig cfg;
+    Switch sw(eq, "sw", 0, /*queue_frames=*/8, /*ecn_threshold=*/2);
+    EthLink l(eq, "l", cfg);
+    SinkEndpoint n(eq);
+    l.connect(&sw, &n);
+    sw.setDefaultRoute(&l);
+
+    for (int i = 0; i < 6; ++i)
+        sw.deliver(makePacket(1460, 0, 1));
+    eq.run();
+
+    // Frames enqueued at occupancy 0 and 1 pass unmarked; occupancy
+    // 2..5 is at/above the threshold.
+    ASSERT_EQ(n.got.size(), 6u);
+    EXPECT_EQ(sw.ecnMarks(), 4u);
+    EXPECT_FALSE(n.got[0].first->ecnMarked);
+    EXPECT_FALSE(n.got[1].first->ecnMarked);
+    for (std::size_t i = 2; i < 6; ++i)
+        EXPECT_TRUE(n.got[i].first->ecnMarked) << "frame " << i;
+    EXPECT_EQ(sw.dropsQueue(), 0u);
+}
+
+TEST(Switch, UnboundedQueueNeverDrops)
+{
+    EventQueue eq;
+    EthConfig cfg;
+    Switch sw(eq, "sw", 0, /*queue_frames=*/0, /*ecn_threshold=*/0);
+    EthLink l(eq, "l", cfg);
+    SinkEndpoint n(eq);
+    l.connect(&sw, &n);
+    sw.setDefaultRoute(&l);
+    for (int i = 0; i < 200; ++i)
+        sw.deliver(makePacket(1460, 0, 1));
+    eq.run();
+    EXPECT_EQ(n.got.size(), 200u);
+    EXPECT_EQ(sw.dropsQueue(), 0u);
+    EXPECT_EQ(sw.ecnMarks(), 0u);
 }
 
 TEST(Locality, HopCountsAreMonotonic)
