@@ -9,12 +9,14 @@
 #ifndef NETDIMM_KERNEL_DRIVER_HH
 #define NETDIMM_KERNEL_DRIVER_HH
 
+#include <algorithm>
 #include <deque>
 #include <functional>
 #include <unordered_map>
 
 #include "kernel/Skb.hh"
 #include "net/Packet.hh"
+#include "nic/DescriptorRing.hh"
 #include "sim/Random.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
@@ -33,7 +35,13 @@ class Driver : public SimObject
         : SimObject(eq, std::move(name)), _cfg(cfg),
           _rng(cfg.seed ^ 0xD1B54A32D192ED03ull),
           _rxCtx(cfg.cpu.cores)
-    {}
+    {
+        _probeId = eq.registerHealthProbe(this->name(), [this] {
+            return outstandingWork();
+        });
+    }
+
+    ~Driver() override { eventq().unregisterHealthProbe(_probeId); }
 
     /**
      * Application hands a payload to the stack. pkt->appSrc/bytes
@@ -45,6 +53,23 @@ class Driver : public SimObject
 
     std::uint64_t txPackets() const { return _txPkts.value(); }
     std::uint64_t rxPackets() const { return _rxPkts.value(); }
+
+    // -- TX-hang watchdog statistics ------------------------------------
+    /** Hangs detected and recovered by the TX watchdog. */
+    std::uint64_t txHangRecoveries() const { return _txHangs.value(); }
+    /** In-flight skbs dropped across device resets (the transport
+     *  layer retransmits them). */
+    std::uint64_t skbsDroppedOnReset() const
+    {
+        return _skbsDropped.value();
+    }
+    /** Stall-to-recovery latency samples, in microseconds. */
+    const stats::Average &recoveryLatencyUs() const
+    {
+        return _recoveryUs;
+    }
+    /** Kicked skbs not yet completed by the device. */
+    std::size_t inflightTx() const { return _inflightTx.size(); }
 
   protected:
     const SystemConfig &_cfg;
@@ -66,6 +91,7 @@ class Driver : public SimObject
         std::size_t c = std::size_t(pkt->flowId) % _rxCtx.size();
         RxContext &ctx = _rxCtx[c];
         ctx.pending.emplace_back(pkt, visible);
+        eventq().heartbeat(_probeId);
         if (!ctx.busy)
             startNextRx(c);
     }
@@ -150,6 +176,57 @@ class Driver : public SimObject
         return s;
     }
 
+    // -- e1000-style TX-hang watchdog -----------------------------------
+    //
+    // The driver cannot see inside the device; what it *can* see is
+    // the TX ring's head/tail watermarks. While TX work is
+    // outstanding a periodic watchdog checks the ring's progress
+    // age; once it exceeds txHangTimeout the device is declared hung
+    // and recoverFromTxHang() resets it, reinitializes the rings,
+    // and drops the in-flight skbs (stat-counted; a reliable
+    // transport retransmits them). The watchdog self-disarms when
+    // TX goes idle so a finished simulation still drains naturally.
+
+    /** Name the TX ring the watchdog supervises (call once). */
+    void superviseTxRing(DescriptorRing *ring) { _watchedRing = ring; }
+
+    /** Track a kicked skb until the device reports TX completion. */
+    void
+    trackTx(const PacketPtr &pkt)
+    {
+        _inflightTx.push_back(pkt);
+        eventq().heartbeat(_probeId);
+        armWatchdog();
+    }
+
+    /** The device retired @p pkt (sent, or dropped with an error). */
+    void
+    completeTx(const PacketPtr &pkt)
+    {
+        auto it = std::find(_inflightTx.begin(), _inflightTx.end(),
+                            pkt);
+        if (it != _inflightTx.end())
+            _inflightTx.erase(it);
+        eventq().heartbeat(_probeId);
+    }
+
+    /**
+     * Device-specific recovery: reset the device, reinitialize the
+     * rings, repost RX buffers. The base class has already counted
+     * the hang and sampled the recovery latency.
+     */
+    virtual void recoverFromTxHang() {}
+
+    /** Drop every in-flight skb (device reset); @return how many. */
+    std::uint32_t
+    dropInflightTx()
+    {
+        auto n = std::uint32_t(_inflightTx.size());
+        _inflightTx.clear();
+        _skbsDropped.inc(n);
+        return n;
+    }
+
   private:
     struct RxContext
     {
@@ -164,6 +241,58 @@ class Driver : public SimObject
     Tick _intrHoldoffUntil = 0;
     Tick _intrDelivery = 0;
     Tick _adaptiveUntil = 0;
+
+    DescriptorRing *_watchedRing = nullptr;
+    bool _watchdogArmed = false;
+    std::deque<PacketPtr> _inflightTx;
+    std::size_t _probeId = 0;
+    stats::Scalar _txHangs, _skbsDropped;
+    stats::Average _recoveryUs;
+
+    /** Liveness probe: work the driver holds that needs events. */
+    std::uint64_t
+    outstandingWork() const
+    {
+        std::uint64_t n = _inflightTx.size();
+        for (const RxContext &ctx : _rxCtx)
+            n += ctx.pending.size();
+        return n;
+    }
+
+    void
+    armWatchdog()
+    {
+        if (_watchdogArmed || _watchedRing == nullptr)
+            return;
+        _watchdogArmed = true;
+        scheduleRel(_cfg.faults.watchdogPeriod,
+                    [this] { watchdogTick(); });
+    }
+
+    void
+    watchdogTick()
+    {
+        _watchdogArmed = false;
+        if (_watchedRing == nullptr)
+            return;
+        // TX idle: disarm; the next trackTx() re-arms. This keeps
+        // the event queue drainable once traffic stops.
+        if (_watchedRing->empty() && _inflightTx.empty())
+            return;
+        if (_watchedRing->stalled(curTick(),
+                                  _cfg.faults.txHangTimeout)) {
+            _txHangs.inc();
+            _recoveryUs.sample(
+                ticksToUs(curTick() - _watchedRing->lastProgress()));
+            warn("%s: TX ring stalled for %0.1f us (head %u, tail "
+                 "%u); resetting device",
+                 name().c_str(),
+                 ticksToUs(curTick() - _watchedRing->lastProgress()),
+                 _watchedRing->head(), _watchedRing->tail());
+            recoverFromTxHang();
+        }
+        armWatchdog();
+    }
 
     Tick
     interruptNotice(Tick visible)

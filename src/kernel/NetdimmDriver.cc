@@ -17,6 +17,10 @@ NetdimmDriver::NetdimmDriver(EventQueue &eq, std::string name,
     _dev.setRxNotify([this](const PacketPtr &pkt, Tick t) {
         dispatchRx(pkt, t);
     });
+    _dev.setTxNotify([this](const PacketPtr &pkt, Tick) {
+        completeTx(pkt);
+    });
+    superviseTxRing(&_dev.txRing());
 }
 
 void
@@ -56,7 +60,7 @@ NetdimmDriver::cloneScattered(const PacketPtr &pkt, Tick t1)
         (pkt->bytes + pageBytes - 1) / pageBytes;
     join->left = chunks;
 
-    auto chunk_done = [this, pkt, t1, join](Tick t2, CloneMode) {
+    auto finish_chunk = [this, pkt, t1, join](Tick t2) {
         join->lastDone = std::max(join->lastDone, t2);
         if (--join->left > 0)
             return;
@@ -89,8 +93,39 @@ NetdimmDriver::cloneScattered(const PacketPtr &pkt, Tick t1)
         }
         std::uint32_t sz = std::min<std::uint32_t>(left, pageBytes);
         left -= sz;
-        _dev.cloneBuffer(dst, src, sz, chunk_done);
+        _dev.cloneBuffer(
+            dst, src, sz,
+            [this, dst, src, sz, finish_chunk](Tick t2, CloneMode m) {
+                if (m != CloneMode::Failed) {
+                    finish_chunk(t2);
+                    return;
+                }
+                // The in-memory clone aborted: redo this chunk on the
+                // CopyEngine (the regular CPU/DMA copy path) so the
+                // packet is still delivered intact, just slower.
+                _cloneFallbacks.inc();
+                if (FaultDomain *d = _dev.rowCloneEngine().faultDomain())
+                    d->noteRecovered();
+                _copy.copy(dst, src, sz, finish_chunk);
+            });
     }
+}
+
+void
+NetdimmDriver::recoverFromTxHang()
+{
+    // Reclaim the RX buffers still posted in the ring before the
+    // reset wipes the indices, then rebuild the interface the way
+    // initRings() left it: both rings empty, entries-1 fresh RX
+    // buffers posted. The dropped TX skbs are stat-counted; a
+    // reliable transport retransmits their payloads.
+    while (!_dev.rxRing().empty())
+        _allocCache.release(_dev.rxRing().pop(curTick()));
+    dropInflightTx();
+    _dev.reset();
+    bool fast = false;
+    for (std::uint32_t i = 0; i + 1 < _cfg.nicModel.ringEntries; ++i)
+        _dev.postRxBuffer(_allocCache.takeAny(fast));
 }
 
 void
@@ -153,8 +188,9 @@ NetdimmDriver::txFlushAndKick(const PacketPtr &pkt, Tick flush_start)
                      [this, pkt, t1](Tick t2) {
                 pkt->lat.add(LatComp::IoReg, t2 - t1);
                 if (!_dev.txRing().full()) {
-                    _dev.txRing().push(pkt->txBufAddr);
+                    _dev.txRing().push(pkt->txBufAddr, curTick());
                     countTx();
+                    trackTx(pkt);
                     _dev.transmit(pkt);
                 } else {
                     scheduleRel(_cfg.cpu.cycles(

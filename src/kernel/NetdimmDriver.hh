@@ -53,6 +53,11 @@ class NetdimmDriver : public Driver
 
     std::uint64_t fastPathTx() const { return _fastTx.value(); }
     std::uint64_t slowPathTx() const { return _slowTx.value(); }
+    /** Clones that aborted and were re-run on the CopyEngine. */
+    std::uint64_t cloneFallbacks() const
+    {
+        return _cloneFallbacks.value();
+    }
 
   private:
     NetDimmDevice &_dev;
@@ -62,7 +67,7 @@ class NetdimmDriver : public Driver
     MemorySystem &_mem;
     MemZone _zone;
 
-    stats::Scalar _fastTx, _slowTx;
+    stats::Scalar _fastTx, _slowTx, _cloneFallbacks;
 
     void initRings();
     void txFlushAndKick(const PacketPtr &pkt, Tick flush_start);
@@ -72,6 +77,10 @@ class NetdimmDriver : public Driver
   protected:
     void processRx(const PacketPtr &pkt, Tick visible,
                    std::function<void()> cpu_done) override;
+
+    /** TX-hang watchdog fired: reset the NetDIMM nNIC and rebuild
+     *  both rings, dropping the in-flight skbs. */
+    void recoverFromTxHang() override;
 
   private:
 

@@ -7,6 +7,8 @@ Node::Node(EventQueue &eq, std::string name, const SystemConfig &cfg,
            std::uint32_t id)
     : SimObject(eq, std::move(name)), _cfg(cfg), _id(id)
 {
+    if (_cfg.faults.enabled)
+        _faults = std::make_unique<FaultRegistry>(_cfg.seed);
     _mem = std::make_unique<MemorySystem>(eq, this->name() + ".mem",
                                           _cfg);
     _llc = std::make_unique<Llc>(eq, this->name() + ".llc", _cfg.llc,
@@ -62,6 +64,29 @@ Node::Node(EventQueue &eq, std::string name, const SystemConfig &cfg,
             *_copy, *_allocCache, *_mem);
         break;
       }
+    }
+
+    // Fault wiring: every fallible layer gets its own named domain so
+    // the schedule is a pure function of (seed, domain name).
+    if (_faults) {
+        const FaultModelConfig *fc = &_cfg.faults;
+        for (std::uint32_t c = 0; c < _mem->numChannels(); ++c)
+            _mem->channel(c).setFaultInjection(
+                &_faults->domain(this->name() + ".mem.ch" +
+                                 std::to_string(c)),
+                fc);
+        if (_nic)
+            _nic->setFaultDomain(
+                &_faults->domain(this->name() + ".nic.dev"));
+        if (_netdimm) {
+            _netdimm->localMc().setFaultInjection(
+                &_faults->domain(this->name() + ".netdimm.mem"), fc);
+            _netdimm->setFaultDomain(
+                &_faults->domain(this->name() + ".netdimm.dev"));
+            _netdimm->rowCloneEngine().setFaultInjection(
+                &_faults->domain(this->name() + ".netdimm.rowclone"),
+                fc->rowCloneFailProb);
+        }
     }
 
     // Application buffer pool for workload sources.
@@ -155,6 +180,11 @@ Node::printStats(std::ostream &os) const
     StatGroup drv(name() + ".driver");
     drv.add("txPackets", double(_driver->txPackets()));
     drv.add("rxPackets", double(_driver->rxPackets()));
+    drv.add("txHangRecoveries", double(_driver->txHangRecoveries()));
+    drv.add("skbsDroppedOnReset",
+            double(_driver->skbsDroppedOnReset()));
+    drv.add("recoveryLatency", _driver->recoveryLatencyUs().mean(),
+            "us");
     drv.print(os);
 
     StatGroup cache(name() + ".llc");
@@ -173,6 +203,8 @@ Node::printStats(std::ostream &os) const
         ch.add("rowMisses", double(mc.rowMisses()));
         ch.add("busUtilization", mc.busUtilization());
         ch.add("meanReadLatency", mc.meanReadLatencyNs(), "ns");
+        ch.add("eccCorrectable", double(mc.eccCorrectable()));
+        ch.add("eccUncorrectable", double(mc.eccUncorrectable()));
         ch.print(os);
     }
 
@@ -181,6 +213,9 @@ Node::printStats(std::ostream &os) const
         nic.add("txFrames", double(_nic->txFrames()));
         nic.add("rxFrames", double(_nic->rxFrames()));
         nic.add("rxDrops", double(_nic->rxDrops()));
+        nic.add("hangs", double(_nic->hangs()));
+        nic.add("resets", double(_nic->resets()));
+        nic.add("txDmaDrops", double(_nic->txDmaDrops()));
         nic.print(os);
     }
     if (_pcie) {
@@ -198,6 +233,10 @@ Node::printStats(std::ostream &os) const
         nd.add("hostWrites", double(_netdimm->hostWrites()));
         nd.add("prefetchesIssued",
                double(_netdimm->prefetchesIssued()));
+        nd.add("hangs", double(_netdimm->hangs()));
+        nd.add("resets", double(_netdimm->resets()));
+        nd.add("txDmaDrops", double(_netdimm->txDmaDrops()));
+        nd.add("txPoisonDrops", double(_netdimm->txPoisonDrops()));
         nd.print(os);
 
         StatGroup nc(name() + ".netdimm.ncache");
@@ -213,6 +252,10 @@ Node::printStats(std::ostream &os) const
         cl.add("psmClones", double(rc.psmClones()));
         cl.add("gcmClones", double(rc.gcmClones()));
         cl.add("bytesCloned", double(rc.bytesCloned()));
+        cl.add("failedClones", double(rc.failedClones()));
+        cl.add("cloneFallbacks",
+               double(static_cast<NetdimmDriver *>(_driver.get())
+                          ->cloneFallbacks()));
         cl.print(os);
 
         StatGroup ac(name() + ".alloccache");
@@ -220,6 +263,12 @@ Node::printStats(std::ostream &os) const
         ac.add("fastHits", double(_allocCache->fastHits()));
         ac.add("slowAllocs", double(_allocCache->slowAllocs()));
         ac.print(os);
+    }
+
+    if (_faults) {
+        os << name() << ".faults (master seed "
+           << _faults->masterSeed() << ")\n";
+        _faults->print(os);
     }
 }
 

@@ -96,11 +96,15 @@ class Node : public SimObject
     /** Null unless a discrete NIC is configured. */
     PcieLink *pcie() { return _pcie.get(); }
     AllocCache *allocCache() { return _allocCache.get(); }
+    /** Null unless cfg.faults.enabled. */
+    FaultRegistry *faults() { return _faults.get(); }
 
   private:
     SystemConfig _cfg; ///< owned copy; benches tweak before building
     std::uint32_t _id;
 
+    /** Declared first so every component's fault domain outlives it. */
+    std::unique_ptr<FaultRegistry> _faults;
     std::unique_ptr<MemorySystem> _mem;
     std::unique_ptr<Llc> _llc;
     std::unique_ptr<CopyEngine> _copy;

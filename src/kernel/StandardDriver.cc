@@ -14,6 +14,10 @@ StandardDriver::StandardDriver(EventQueue &eq, std::string name,
     _nic.setRxNotify([this](const PacketPtr &pkt, Tick t) {
         dispatchRx(pkt, t);
     });
+    _nic.setTxNotify([this](const PacketPtr &pkt, Tick) {
+        completeTx(pkt);
+    });
+    superviseTxRing(&_nic.txRing());
 }
 
 void
@@ -68,9 +72,37 @@ StandardDriver::kick(const PacketPtr &pkt)
     }
     // Descriptor write is a store into the (cached) ring line,
     // folded into the driver-cycle charge applied by the caller.
-    _nic.txRing().push(pkt->txBufAddr);
+    _nic.txRing().push(pkt->txBufAddr, curTick());
     countTx();
+    trackTx(pkt);
     _nic.transmit(pkt);
+}
+
+void
+StandardDriver::recoverFromTxHang()
+{
+    // Salvage the RX buffers still posted in the ring, reset the
+    // device, and rebuild the interface: both rings empty, entries-1
+    // RX buffers reposted. Dropped TX skbs are stat-counted; a
+    // reliable transport retransmits their payloads.
+    std::deque<Addr> rx_bufs;
+    while (!_nic.rxRing().empty())
+        rx_bufs.push_back(_nic.rxRing().pop(curTick()));
+    dropInflightTx();
+    _nic.reset();
+    std::uint32_t entries = _cfg.nicModel.ringEntries;
+    for (std::uint32_t i = 0; i + 1 < entries; ++i) {
+        Addr buf;
+        if (!rx_bufs.empty()) {
+            buf = rx_bufs.front();
+            rx_bufs.pop_front();
+        } else {
+            buf = _alloc.allocPages(MemZone::Normal, 1);
+        }
+        _nic.postRxBuffer(buf);
+    }
+    for (Addr buf : rx_bufs)
+        _alloc.freePages(MemZone::Normal, buf, 1);
 }
 
 void

@@ -60,6 +60,10 @@ class StandardDriver : public Driver
   protected:
     void processRx(const PacketPtr &pkt, Tick visible,
                    std::function<void()> cpu_done) override;
+
+    /** TX-hang watchdog fired: reset the NIC and rebuild both rings,
+     *  dropping the in-flight skbs. */
+    void recoverFromTxHang() override;
 };
 
 } // namespace netdimm

@@ -45,6 +45,13 @@ struct MemRequest
     MemSource source = MemSource::Other;
     /** Tick the requester handed the request to the controller. */
     Tick issued = 0;
+    /**
+     * Set by the controller when any beat of this request hit an
+     * uncorrectable ECC error: the data is not trustworthy and
+     * consumers must drop or regenerate it (poisoned-line
+     * propagation, not silent corruption).
+     */
+    bool poisoned = false;
     Completion onDone;
 
     MemRequest() = default;

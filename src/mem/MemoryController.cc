@@ -14,6 +14,14 @@ MemoryController::MemoryController(EventQueue &eq, std::string name,
       _banks(std::size_t(geo.ranksPerChannel) * geo.banksPerDevice),
       _stats(6)
 {
+    _probeId = eq.registerHealthProbe(this->name(), [this] {
+        return std::uint64_t(_readQ.size() + _writeQ.size());
+    });
+}
+
+MemoryController::~MemoryController()
+{
+    eventq().unregisterHealthProbe(_probeId);
 }
 
 MemoryController::BankState &
@@ -149,6 +157,22 @@ MemoryController::issueBeat(const Beat &beat)
     _busReady = done;
     _busBusyTicks += burst;
 
+    // ECC error model: each beat rolls independently. An
+    // uncorrectable error poisons the whole request (the consumer
+    // must discard the data); a correctable one is fixed in line at
+    // the cost of the scrub latency on this beat's completion.
+    if (_faultDomain) {
+        if (_faultDomain->inject(_faultCfg->eccUncorrectableProb)) {
+            beat.parent->req->poisoned = true;
+            _eccUncorrectable.inc();
+        } else if (_faultDomain->inject(_faultCfg->eccCorrectableProb)) {
+            done += _faultCfg->eccScrubLatency;
+            _eccCorrectable.inc();
+            // Corrected transparently to the consumer.
+            _faultDomain->noteRecovered();
+        }
+    }
+
     bs.rowOpen = true;
     bs.openRow = row;
     bs.nextCasAt = cas_at + _timing.clocks(_timing.tCCD);
@@ -198,6 +222,7 @@ MemoryController::service()
     Beat beat;
     while (pickBeat(beat))
         issueBeat(beat);
+    eventq().heartbeat(_probeId);
 
     if (_readQ.empty() && _writeQ.empty())
         return;

@@ -27,6 +27,7 @@
 
 #include "mem/AddressMap.hh"
 #include "mem/MemRequest.hh"
+#include "sim/Fault.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
 #include "sim/SystemConfig.hh"
@@ -65,6 +66,7 @@ class MemoryController : public SimObject, public MemTarget
     MemoryController(EventQueue &eq, std::string name,
                      const DramTiming &timing, const DramGeometry &geo,
                      const MemCtrlConfig &cfg);
+    ~MemoryController() override;
 
     void access(const MemRequestPtr &req) override;
 
@@ -88,6 +90,24 @@ class MemoryController : public SimObject, public MemTarget
     /** Install @p hook; pass nullptr to disable. Used by Fig. 7. */
     void setTraceHook(TraceHook hook) { _trace = std::move(hook); }
 
+    /**
+     * Enable ECC fault injection: per-beat correctable (in-line
+     * scrub delay) and uncorrectable (request poisoned) error rolls
+     * against @p domain with the probabilities in @p cfg. Pass
+     * nullptr to disable. Both pointers must outlive the controller.
+     */
+    void
+    setFaultInjection(FaultDomain *domain, const FaultModelConfig *cfg)
+    {
+        _faultDomain = domain;
+        _faultCfg = domain ? cfg : nullptr;
+    }
+
+    /** The domain ECC faults roll against (nullptr when disabled);
+     *  consumers use it to credit recoveries for poisoned lines they
+     *  absorbed. */
+    FaultDomain *faultDomain() { return _faultDomain; }
+
     /** Decoded view of this channel's DIMM geometry. */
     const DimmDecoder &decoder() const { return _decoder; }
 
@@ -102,6 +122,16 @@ class MemoryController : public SimObject, public MemTarget
     std::uint64_t rowHits() const { return _rowHits.value(); }
     std::uint64_t rowMisses() const { return _rowMisses.value(); }
     std::uint64_t beatsServiced() const { return _beats.value(); }
+    /** ECC errors corrected in line (scrub delay charged). */
+    std::uint64_t eccCorrectable() const
+    {
+        return _eccCorrectable.value();
+    }
+    /** Uncorrectable ECC errors (requests poisoned). */
+    std::uint64_t eccUncorrectable() const
+    {
+        return _eccUncorrectable.value();
+    }
     std::size_t readQueueSize() const { return _readQ.size(); }
     std::size_t writeQueueSize() const { return _writeQ.size(); }
     /** Mean read latency across every source, ns. */
@@ -153,10 +183,15 @@ class MemoryController : public SimObject, public MemTarget
     bool _serviceScheduled = false;
 
     TraceHook _trace;
+    FaultDomain *_faultDomain = nullptr;
+    const FaultModelConfig *_faultCfg = nullptr;
+    std::size_t _probeId = 0;
     std::vector<MemSourceStats> _stats;
     stats::Scalar _rowHits;
     stats::Scalar _rowMisses;
     stats::Scalar _beats;
+    stats::Scalar _eccCorrectable;
+    stats::Scalar _eccUncorrectable;
 
     BankState &bank(const DramAddress &da);
     void scheduleService(Tick when);

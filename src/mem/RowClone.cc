@@ -15,6 +15,8 @@ cloneModeName(CloneMode m)
         return "PSM";
       case CloneMode::GCM:
         return "GCM";
+      case CloneMode::Failed:
+        return "FAIL";
     }
     return "?";
 }
@@ -63,6 +65,8 @@ RowCloneEngine::modeLatency(CloneMode m, Addr src,
         return _cfg.psmSetup + Tick(lines) * _cfg.psmPerLine;
       case CloneMode::GCM:
         return _cfg.gcmSetup + Tick(lines) * _cfg.gcmPerLine;
+      case CloneMode::Failed:
+        break;
     }
     return 0;
 }
@@ -79,6 +83,20 @@ RowCloneEngine::clone(Addr src, Addr dst, std::uint32_t size,
                       Completion cb)
 {
     ND_ASSERT(size > 0);
+
+    if (_faultDomain && _faultDomain->inject(_failProb)) {
+        // The copy command fails verification; the bank state is
+        // untouched and the caller learns after the setup time.
+        _failed.inc();
+        Tick done = curTick() + _cfg.gcmSetup;
+        if (cb) {
+            eventq().schedule(done, [cb = std::move(cb), done] {
+                cb(done, CloneMode::Failed);
+            });
+        }
+        return;
+    }
+
     CloneMode mode = selectMode(src, dst);
     Tick lat = modeLatency(mode, src, size);
 
@@ -107,6 +125,8 @@ RowCloneEngine::clone(Addr src, Addr dst, std::uint32_t size,
         break;
       case CloneMode::GCM:
         _gcm.inc();
+        break;
+      case CloneMode::Failed:
         break;
     }
     _bytes.inc(size);

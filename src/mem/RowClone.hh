@@ -36,6 +36,9 @@ enum class CloneMode
     FPM,
     PSM,
     GCM,
+    /** The copy aborted (injected fault); no data was moved and the
+     *  caller must fall back to a conventional copy. */
+    Failed,
 };
 
 /** @return printable mode name. */
@@ -64,17 +67,37 @@ class RowCloneEngine : public SimObject
     /** Pure latency of a clone (no contention), for unit tests. */
     Tick idealLatency(Addr src, Addr dst, std::uint32_t size) const;
 
+    /**
+     * Enable clone-failure injection: each clone() aborts with
+     * probability @p fail_prob and completes as CloneMode::Failed
+     * after the setup/verify time, leaving the fallback to the
+     * caller. @p domain must outlive the engine; nullptr disables.
+     */
+    void
+    setFaultInjection(FaultDomain *domain, double fail_prob)
+    {
+        _faultDomain = domain;
+        _failProb = fail_prob;
+    }
+
+    /** Domain clone failures roll against (nullptr when disabled);
+     *  callers use it to credit their fallback as a recovery. */
+    FaultDomain *faultDomain() { return _faultDomain; }
+
     // -- statistics ----------------------------------------------------
     std::uint64_t fpmClones() const { return _fpm.value(); }
     std::uint64_t psmClones() const { return _psm.value(); }
     std::uint64_t gcmClones() const { return _gcm.value(); }
     std::uint64_t bytesCloned() const { return _bytes.value(); }
+    std::uint64_t failedClones() const { return _failed.value(); }
 
   private:
     MemoryController &_mc;
     const RowCloneConfig _cfg;
+    FaultDomain *_faultDomain = nullptr;
+    double _failProb = 0.0;
 
-    stats::Scalar _fpm, _psm, _gcm, _bytes;
+    stats::Scalar _fpm, _psm, _gcm, _bytes, _failed;
 
     Tick modeLatency(CloneMode m, Addr src, std::uint32_t size) const;
 };

@@ -160,8 +160,18 @@ void
 ClosFabric::forward(const PacketPtr &pkt, TrafficLocality loc)
 {
     auto it = _eps.find(pkt->dstNode);
-    if (it == _eps.end())
-        panic("%s: unattached node %u", name().c_str(), pkt->dstNode);
+    if (it == _eps.end()) {
+        // A frame to a node the fabric does not know is the network
+        // equivalent of a misdelivered packet: real fabrics drop it
+        // (and a reliable transport retransmits or gives up); only a
+        // simulator bug makes it fatal. Warn once, count, drop.
+        if (_dropsNoRoute.value() == 0)
+            warn("%s: unattached node %u, dropping (counted in "
+                 "dropsNoRoute)",
+                 name().c_str(), pkt->dstNode);
+        _dropsNoRoute.inc();
+        return;
+    }
     NetEndpoint *ep = it->second;
 
     Tick delay = pathDelay(pkt->bytes, loc);

@@ -144,11 +144,18 @@ class ClosFabric : public SimObject, public NetEndpoint
     /** One-way fabric delay for a payload of @p bytes at @p loc. */
     Tick pathDelay(std::uint32_t bytes, TrafficLocality loc) const;
 
+    /** Frames dropped because their destination was never attached. */
+    std::uint64_t dropsNoRoute() const
+    {
+        return _dropsNoRoute.value();
+    }
+
   private:
     const EthConfig _cfg;
     std::map<std::uint32_t, NetEndpoint *> _eps;
     TrafficLocality _defaultLoc = TrafficLocality::IntraCluster;
     stats::Scalar _frames;
+    stats::Scalar _dropsNoRoute;
 };
 
 } // namespace netdimm

@@ -174,6 +174,28 @@ NetDimmDevice::mediaAccess(const MemRequestPtr &req,
 void
 NetDimmDevice::transmit(const PacketPtr &pkt)
 {
+    // Per-kick fault rolls: the device can wedge (descriptors
+    // accumulate until the driver watchdog resets it) or its DMA
+    // engine can drop this one transaction (descriptor completes
+    // with an error status; the transport retransmits).
+    if (_hung)
+        return;
+    if (_faults) {
+        if (_faults->inject(config().faults.deviceHangProb)) {
+            forceHang();
+            return;
+        }
+        if (_faults->inject(config().faults.dmaDropProb)) {
+            _txDmaDrops.inc();
+            if (!_txRing.empty())
+                _txRing.pop(curTick());
+            if (_txNotify)
+                _txNotify(pkt, curTick());
+            _faults->noteRecovered();
+            return;
+        }
+    }
+
     Tick t0 = curTick();
     Addr desc_local = local(_txRing.descAddr(_txRing.tail()));
     Addr buf_local = local(pkt->txBufAddr);
@@ -184,20 +206,41 @@ NetDimmDevice::transmit(const PacketPtr &pkt)
         desc_local, DescriptorRing::descBytes, false,
         MemSource::NetDimmNic, [this, pkt, t0, buf_local](Tick) {
             // Payload DMA entirely on the local channel.
-            auto data_req = makeMemRequest(
-                buf_local, pkt->bytes, false, MemSource::NetDimmNic,
-                [this, pkt, t0](Tick t2) {
-                    Tick pipe = config().nicModel.pipelineLatency;
-                    pkt->lat.add(LatComp::TxDma, (t2 + pipe) - t0);
-                    _txFrames.inc();
-                    eventq().schedule(t2 + pipe, [this, pkt] {
-                        ND_ASSERT(_wire);
-                        // TX descriptor cleanup after transmission.
-                        if (!_txRing.empty())
-                            _txRing.pop();
-                        _wire(pkt);
-                    });
+            auto data_req = makeMemRequest(buf_local, pkt->bytes,
+                                           false, MemSource::NetDimmNic,
+                                           nullptr);
+            // The completion captures the raw request pointer (kept
+            // alive by the controller during the callback) to check
+            // the poison flag without a shared_ptr cycle.
+            data_req->onDone = [this, pkt, t0,
+                                raw = data_req.get()](Tick t2) {
+                if (raw->poisoned) {
+                    // Uncorrectable ECC under the payload: the frame
+                    // must not leave the machine with bad data. Drop
+                    // it at the descriptor level; the transport's RTO
+                    // resends from the (intact) application buffer.
+                    _txPoisonDrops.inc();
+                    if (!_txRing.empty())
+                        _txRing.pop(curTick());
+                    if (_txNotify)
+                        _txNotify(pkt, curTick());
+                    if (FaultDomain *d = _localMc->faultDomain())
+                        d->noteRecovered();
+                    return;
+                }
+                Tick pipe = config().nicModel.pipelineLatency;
+                pkt->lat.add(LatComp::TxDma, (t2 + pipe) - t0);
+                _txFrames.inc();
+                eventq().schedule(t2 + pipe, [this, pkt] {
+                    ND_ASSERT(_wire);
+                    // TX descriptor cleanup after transmission.
+                    if (!_txRing.empty())
+                        _txRing.pop(curTick());
+                    _wire(pkt);
+                    if (_txNotify)
+                        _txNotify(pkt, curTick());
                 });
+            };
             _localMc->access(data_req);
         });
     eventq().scheduleRel(ctrl, [this, desc_req] {
@@ -206,10 +249,23 @@ NetDimmDevice::transmit(const PacketPtr &pkt)
 }
 
 void
+NetDimmDevice::reset()
+{
+    // A reset that clears an injected hang closes that fault's
+    // ledger entry.
+    if (_hung && _faults)
+        _faults->noteRecovered();
+    _hung = false;
+    _resets.inc();
+    _txRing.init(_txRing.base(), _txRing.entries());
+    _rxRing.init(_rxRing.base(), _rxRing.entries());
+}
+
+void
 NetDimmDevice::postRxBuffer(Addr buf)
 {
     if (!_rxRing.full())
-        _rxRing.push(buf);
+        _rxRing.push(buf, curTick());
 }
 
 void
@@ -220,12 +276,17 @@ NetDimmDevice::deliver(const PacketPtr &pkt)
         _rxDrops.inc();
         return;
     }
+    // A hung device moves no frames in either direction.
+    if (_hung) {
+        _rxDrops.inc();
+        return;
+    }
     if (_rxRing.empty()) {
         _rxDrops.inc();
         return;
     }
     Tick t0 = curTick();
-    Addr buf = _rxRing.pop();
+    Addr buf = _rxRing.pop(curTick());
     pkt->rxBufAddr = buf;
     Addr buf_local = local(buf);
     Addr desc_local = local(_rxRing.descAddr(_rxRing.head()));

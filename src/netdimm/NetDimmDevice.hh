@@ -43,6 +43,7 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
 {
   public:
     using RxNotify = std::function<void(const PacketPtr &, Tick)>;
+    using TxNotify = std::function<void(const PacketPtr &, Tick)>;
     using CloneDone = std::function<void(Tick, CloneMode)>;
 
     NetDimmDevice(EventQueue &eq, std::string name,
@@ -83,6 +84,9 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
         _wire = std::move(wire);
     }
     void setRxNotify(RxNotify cb) { _rxNotify = std::move(cb); }
+    /** TX completion (frame left nNIC or was dropped by a fault);
+     *  the driver uses it to retire in-flight skbs. */
+    void setTxNotify(TxNotify cb) { _txNotify = std::move(cb); }
 
     /**
      * The driver's descriptor kick has landed (it flushed size+flags
@@ -99,6 +103,37 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
 
     DescriptorRing &txRing() { return _txRing; }
     DescriptorRing &rxRing() { return _rxRing; }
+
+    // -- fault injection / recovery -------------------------------------
+    /** Wire this device's fault rolls to @p domain (nullptr: none). */
+    void setFaultDomain(FaultDomain *domain) { _faults = domain; }
+
+    /** True while the buffer device ignores kicks and drops RX. */
+    bool hung() const { return _hung; }
+
+    /** Wedge the device deterministically (tests, campaigns). */
+    void
+    forceHang()
+    {
+        _hung = true;
+        _hangs.inc();
+    }
+
+    /**
+     * Driver-initiated reset: clears the hang and zeroes both ring
+     * indices; the driver reposts RX buffers and drops or requeues
+     * the in-flight TX skbs.
+     */
+    void reset();
+
+    std::uint64_t hangs() const { return _hangs.value(); }
+    std::uint64_t resets() const { return _resets.value(); }
+    std::uint64_t txDmaDrops() const { return _txDmaDrops.value(); }
+    /** TX frames dropped because their payload read was poisoned. */
+    std::uint64_t txPoisonDrops() const
+    {
+        return _txPoisonDrops.value();
+    }
 
     // -- in-memory buffer cloning ---------------------------------------
     /**
@@ -133,10 +168,14 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
 
     std::function<void(const PacketPtr &)> _wire;
     RxNotify _rxNotify;
+    TxNotify _txNotify;
+    FaultDomain *_faults = nullptr;
+    bool _hung = false;
     /** Last line the host read; detects sequential payload streams. */
     Addr _lastHostReadLine = ~Addr(0);
 
     stats::Scalar _txFrames, _rxFrames, _rxDrops, _prefetches;
+    stats::Scalar _hangs, _resets, _txDmaDrops, _txPoisonDrops;
 
     /** Host-physical -> DIMM-relative. */
     Addr local(Addr host_phys) const;

@@ -41,6 +41,7 @@ class DescriptorRing
         _entries = entries;
         _bufAddr.assign(entries, 0);
         _head = _tail = 0;
+        _lastProgress = 0;
     }
 
     Addr base() const { return _base; }
@@ -74,12 +75,16 @@ class DescriptorRing
 
     /**
      * Producer: claim the next slot and associate @p buf with it.
+     * Passing @p now starts the stall clock when the ring goes from
+     * empty to non-empty (there is now work the consumer must drain).
      * @return the claimed slot index.
      */
     std::uint32_t
-    push(Addr buf)
+    push(Addr buf, Tick now = 0)
     {
         ND_ASSERT(!full());
+        if (empty())
+            _lastProgress = std::max(_lastProgress, now);
         std::uint32_t slot = _tail % _entries;
         _bufAddr[slot] = buf;
         _tail = (_tail + 1) % _entries;
@@ -87,13 +92,15 @@ class DescriptorRing
     }
 
     /**
-     * Consumer: drain the next slot.
+     * Consumer: drain the next slot. Passing @p now records consumer
+     * progress for stall detection.
      * @return the buffer address associated with the slot.
      */
     Addr
-    pop()
+    pop(Tick now = 0)
     {
         ND_ASSERT(!empty());
+        _lastProgress = std::max(_lastProgress, now);
         std::uint32_t slot = _head % _entries;
         _head = (_head + 1) % _entries;
         return _bufAddr[slot];
@@ -107,11 +114,28 @@ class DescriptorRing
         return _bufAddr[_head % _entries];
     }
 
+    /** Tick of the last consumer progress (or first fill). */
+    Tick lastProgress() const { return _lastProgress; }
+
+    /**
+     * Head/tail watermark-age stall check: true when the ring has
+     * held work for at least @p age ticks with no consumer progress.
+     * This is how an e1000-style driver watchdog detects a hung
+     * device without any side channel into the hardware.
+     */
+    bool
+    stalled(Tick now, Tick age) const
+    {
+        return !empty() && now >= _lastProgress &&
+               now - _lastProgress >= age;
+    }
+
   private:
     Addr _base = 0;
     std::uint32_t _entries = 0;
     std::uint32_t _head = 0;
     std::uint32_t _tail = 0;
+    Tick _lastProgress = 0;
     std::vector<Addr> _bufAddr;
 };
 

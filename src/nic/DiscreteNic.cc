@@ -15,6 +15,9 @@ DiscreteNic::DiscreteNic(EventQueue &eq, std::string name,
 void
 DiscreteNic::transmit(const PacketPtr &pkt)
 {
+    if (faultTxCheck(pkt))
+        return;
+
     // Timestamps threaded through the TX pipeline stages.
     struct Ctx
     {
@@ -91,7 +94,7 @@ DiscreteNic::rxPath(const PacketPtr &pkt)
         return;
     }
     Tick t0 = curTick();
-    Addr buf = _rxRing.pop();
+    Addr buf = _rxRing.pop(curTick());
     pkt->rxBufAddr = buf;
     Addr desc_addr = _rxRing.descAddr(_rxRing.head());
 

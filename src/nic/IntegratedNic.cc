@@ -15,6 +15,9 @@ IntegratedNic::IntegratedNic(EventQueue &eq, std::string name,
 void
 IntegratedNic::transmit(const PacketPtr &pkt)
 {
+    if (faultTxCheck(pkt))
+        return;
+
     Tick t0 = curTick();
     Addr desc_addr = _txRing.descAddr(_txRing.tail());
     Tick reg = _cfg.nicModel.onDieRegLatency;
@@ -61,7 +64,7 @@ IntegratedNic::rxPath(const PacketPtr &pkt)
         return;
     }
     Tick t0 = curTick();
-    Addr buf = _rxRing.pop();
+    Addr buf = _rxRing.pop(curTick());
     pkt->rxBufAddr = buf;
     Addr desc_addr = _rxRing.descAddr(_rxRing.head());
 

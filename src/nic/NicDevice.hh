@@ -19,6 +19,7 @@
 #include "net/Link.hh"
 #include "net/Packet.hh"
 #include "nic/DescriptorRing.hh"
+#include "sim/Fault.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
 #include "sim/SystemConfig.hh"
@@ -69,7 +70,7 @@ class NicDevice : public SimObject, public NetEndpoint
     postRxBuffer(Addr buf)
     {
         if (!_rxRing.full())
-            _rxRing.push(buf);
+            _rxRing.push(buf, curTick());
     }
 
     /** Wire side: frame arrived (NetEndpoint). */
@@ -82,11 +83,55 @@ class NicDevice : public SimObject, public NetEndpoint
             dropRx(pkt);
             return;
         }
+        // A hung device stops moving frames in either direction.
+        if (_hung) {
+            dropRx(pkt);
+            return;
+        }
         rxPath(pkt);
     }
 
     DescriptorRing &txRing() { return _txRing; }
     DescriptorRing &rxRing() { return _rxRing; }
+
+    // -- fault injection / recovery ------------------------------------
+    /** Wire this device's fault rolls to @p domain (nullptr: none).
+     *  Probabilities come from the SystemConfig fault block. */
+    void setFaultDomain(FaultDomain *domain) { _faults = domain; }
+    FaultDomain *faultDomain() { return _faults; }
+
+    /** True while the device ignores doorbells and drops RX. */
+    bool hung() const { return _hung; }
+
+    /** Wedge the device deterministically (tests, campaigns). */
+    void
+    forceHang()
+    {
+        _hung = true;
+        _hangs.inc();
+    }
+
+    /**
+     * Driver-initiated function reset: clears the hang and zeroes
+     * both ring indices (descriptors in flight are discarded; the
+     * driver reposts RX buffers and requeues or drops TX skbs).
+     */
+    virtual void
+    reset()
+    {
+        // A reset that clears an injected hang closes that fault's
+        // ledger entry.
+        if (_hung && _faults)
+            _faults->noteRecovered();
+        _hung = false;
+        _resets.inc();
+        _txRing.init(_txRing.base(), _txRing.entries());
+        _rxRing.init(_rxRing.base(), _rxRing.entries());
+    }
+
+    std::uint64_t hangs() const { return _hangs.value(); }
+    std::uint64_t resets() const { return _resets.value(); }
+    std::uint64_t txDmaDrops() const { return _txDmaDrops.value(); }
 
     // -- statistics ----------------------------------------------------
     std::uint64_t txFrames() const { return _txFrames.value(); }
@@ -108,9 +153,43 @@ class NicDevice : public SimObject, public NetEndpoint
         // successful transmission"); the driver-side work is folded
         // into its per-packet cycles.
         if (!_txRing.empty())
-            _txRing.pop();
+            _txRing.pop(curTick());
         if (_txNotify)
             _txNotify(pkt, curTick());
+    }
+
+    /**
+     * Per-doorbell fault rolls at the top of transmit(). @return true
+     * when the kick was consumed by a fault: either the device just
+     * wedged (descriptors accumulate until the driver watchdog
+     * resets it) or the DMA engine dropped this one transaction (the
+     * descriptor completes with an error status but no frame reaches
+     * the wire -- the transport's RTO path absorbs the loss).
+     */
+    bool
+    faultTxCheck(const PacketPtr &pkt)
+    {
+        if (_hung)
+            return true;
+        if (_faults) {
+            if (_faults->inject(_cfg.faults.deviceHangProb)) {
+                forceHang();
+                return true;
+            }
+            if (_faults->inject(_cfg.faults.dmaDropProb)) {
+                _txDmaDrops.inc();
+                if (!_txRing.empty())
+                    _txRing.pop(curTick());
+                if (_txNotify)
+                    _txNotify(pkt, curTick());
+                // The descriptor-level error completion *is* the
+                // recovery: the ring keeps moving and the transport
+                // retransmits the payload.
+                _faults->noteRecovered();
+                return true;
+            }
+        }
+        return false;
     }
 
     void
@@ -131,7 +210,10 @@ class NicDevice : public SimObject, public NetEndpoint
     std::function<void(const PacketPtr &)> _wire;
     RxNotify _rxNotify;
     TxNotify _txNotify;
+    FaultDomain *_faults = nullptr;
+    bool _hung = false;
     stats::Scalar _txFrames, _rxFrames, _rxDrops;
+    stats::Scalar _hangs, _resets, _txDmaDrops;
 };
 
 } // namespace netdimm

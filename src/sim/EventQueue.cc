@@ -49,15 +49,76 @@ std::uint64_t
 EventQueue::run(Tick limit)
 {
     std::uint64_t n = 0;
+    bool drained = false;
     for (;;) {
         skipDead();
-        if (_queue.empty() || _queue.top().when > limit)
+        if (_queue.empty()) {
+            drained = true;
+            break;
+        }
+        if (_tickLimit != 0 && _queue.top().when > _tickLimit) {
+            if (!_tickLimitHit) {
+                _tickLimitHit = true;
+                warn("max-tick watchdog: next event at %llu is past "
+                     "the %llu-tick limit; stopping",
+                     (unsigned long long)_queue.top().when,
+                     (unsigned long long)_tickLimit);
+            }
+            break;
+        }
+        if (_queue.top().when > limit)
             break;
         if (!step())
             break;
         ++n;
     }
+    if (drained && !_probes.empty())
+        checkHealth();
     return n;
+}
+
+std::size_t
+EventQueue::registerHealthProbe(std::string name,
+                                std::function<std::uint64_t()>
+                                    outstanding)
+{
+    _probes.push_back(HealthProbe{std::move(name),
+                                  std::move(outstanding), _curTick,
+                                  true});
+    return _probes.size() - 1;
+}
+
+void
+EventQueue::unregisterHealthProbe(std::size_t id)
+{
+    if (id < _probes.size()) {
+        _probes[id].active = false;
+        _probes[id].outstanding = nullptr;
+    }
+}
+
+bool
+EventQueue::checkHealth()
+{
+    std::uint64_t total = 0;
+    const HealthProbe *first = nullptr;
+    for (const auto &p : _probes) {
+        if (!p.active || !p.outstanding)
+            continue;
+        std::uint64_t o = p.outstanding();
+        total += o;
+        if (o != 0 && first == nullptr)
+            first = &p;
+    }
+    if (total == 0)
+        return true;
+    ++_deadlocks;
+    warn("event queue drained at tick %llu with %llu outstanding work "
+         "item(s) (first stuck component: %s, last heartbeat %llu): "
+         "deadlock",
+         (unsigned long long)_curTick, (unsigned long long)total,
+         first->name.c_str(), (unsigned long long)first->lastBeat);
+    return false;
 }
 
 } // namespace netdimm

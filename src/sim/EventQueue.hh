@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -103,6 +104,71 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executedEvents() const { return _executed; }
 
+    // -- simulation health ----------------------------------------------
+    //
+    // Components register a liveness probe reporting how much work
+    // they still hold (queued requests, in-flight skbs). When run()
+    // drains the queue while some probe reports outstanding work, the
+    // simulation has deadlocked: nothing can ever finish that work
+    // because no event remains to drive it. A max-tick watchdog
+    // independently bounds runaway simulations (e.g. a retry loop
+    // rescheduling itself forever).
+
+    /**
+     * Register a liveness probe. @p outstanding reports work items
+     * the component holds that still need events to complete.
+     * @return a probe id for heartbeat()/unregisterHealthProbe().
+     */
+    std::size_t registerHealthProbe(std::string name,
+                                    std::function<std::uint64_t()>
+                                        outstanding);
+
+    /** Deactivate a probe (owner is being destroyed). */
+    void unregisterHealthProbe(std::size_t id);
+
+    /** Record that the probed component made forward progress. */
+    void
+    heartbeat(std::size_t id)
+    {
+        if (id < _probes.size())
+            _probes[id].lastBeat = _curTick;
+    }
+
+    /** Last heartbeat tick of probe @p id (0 if never beaten). */
+    Tick
+    lastHeartbeat(std::size_t id) const
+    {
+        return id < _probes.size() ? _probes[id].lastBeat : 0;
+    }
+
+    std::size_t healthProbes() const { return _probes.size(); }
+
+    /**
+     * Evaluate all probes now. Counts (and warns about) a deadlock
+     * when any active probe reports outstanding work; run() calls
+     * this automatically whenever the queue drains.
+     * @return true when no outstanding work is reported.
+     */
+    bool checkHealth();
+
+    /** Deadlocks detected by checkHealth() so far. */
+    std::uint64_t deadlocksDetected() const { return _deadlocks; }
+
+    /**
+     * Arm the max-tick watchdog: run() refuses to advance past
+     * @p limit and flags the overrun instead of spinning forever.
+     * 0 disarms.
+     */
+    void
+    setTickLimit(Tick limit)
+    {
+        _tickLimit = limit;
+        _tickLimitHit = false;
+    }
+
+    /** True when run() stopped at the max-tick watchdog. */
+    bool tickLimitExceeded() const { return _tickLimitHit; }
+
   private:
     struct Entry
     {
@@ -122,12 +188,25 @@ class EventQueue
         }
     };
 
+    struct HealthProbe
+    {
+        std::string name;
+        std::function<std::uint64_t()> outstanding;
+        Tick lastBeat = 0;
+        bool active = false;
+    };
+
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> _queue;
     /** Handles scheduled but neither executed nor cancelled yet. */
     std::unordered_set<std::uint64_t> _pending;
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+
+    std::vector<HealthProbe> _probes;
+    std::uint64_t _deadlocks = 0;
+    Tick _tickLimit = 0;
+    bool _tickLimitHit = false;
 
     /** Drop cancelled entries off the top of the heap. */
     void skipDead();

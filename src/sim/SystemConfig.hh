@@ -418,6 +418,49 @@ struct SoftwareConfig
     bool modelPollPhase = true;
 };
 
+/**
+ * Fault model (src/sim/Fault.hh): per-layer injection probabilities
+ * and the driver watchdog that recovers from device-level faults.
+ * All probabilities are per *opportunity* (per cacheline beat for
+ * ECC, per TX kick for device faults, per frame for link faults);
+ * schedules derive from SystemConfig::seed via named FaultDomains.
+ */
+struct FaultModelConfig
+{
+    /** Master switch: when false no fault domains are wired at all. */
+    bool enabled = false;
+
+    // -- link faults (EthLink hook) ------------------------------------
+    /** Probability a frame vanishes on the wire. */
+    double linkDropProb = 0.0;
+    /** Probability a frame arrives with a bad FCS. */
+    double linkCorruptProb = 0.0;
+
+    // -- memory faults (per cacheline beat at a controller) ------------
+    /** Correctable ECC error: fixed in line, costs scrub latency. */
+    double eccCorrectableProb = 0.0;
+    /** Uncorrectable ECC error: the line is poisoned. */
+    double eccUncorrectableProb = 0.0;
+    /** In-line correction/scrub delay added to a correctable beat. */
+    Tick eccScrubLatency = nsToTicks(250);
+    /** Probability a RowClone copy aborts (falls back to CopyEngine). */
+    double rowCloneFailProb = 0.0;
+
+    // -- device faults (per TX kick at a NIC / NetDIMM device) ---------
+    /** Device wedges: stops consuming descriptors until reset. */
+    double deviceHangProb = 0.0;
+    /** DMA engine drops one transaction (descriptor completes, no
+     *  frame reaches the wire). */
+    double dmaDropProb = 0.0;
+
+    // -- driver watchdog -----------------------------------------------
+    /** Ring-stall age that declares a TX hang (e1000 uses ~2s wall
+     *  clock; scaled to simulated microseconds here). */
+    Tick txHangTimeout = usToTicks(150);
+    /** Watchdog check period while TX work is outstanding. */
+    Tick watchdogPeriod = usToTicks(50);
+};
+
 /** Which NIC architecture a node deploys (Fig. 1). */
 enum class NicKind
 {
@@ -448,7 +491,10 @@ struct SystemConfig
     NicKind nic = NicKind::Discrete;
     /** Number of NetDIMM devices installed (Sec. 4.2.1: NETi zones). */
     std::uint32_t numNetDimms = 1;
-    /** RNG seed for this node's stochastic components. */
+    /** Fault injection + recovery model. */
+    FaultModelConfig faults{};
+    /** RNG seed for this node's stochastic components; also the
+     *  master seed every FaultDomain schedule derives from. */
     std::uint64_t seed = 1;
 };
 

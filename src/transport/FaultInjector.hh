@@ -4,15 +4,23 @@
  *
  * A FaultInjector attaches to an EthLink (LinkFaultHook) and makes
  * independent, seeded per-frame decisions to drop or corrupt frames,
- * so loss can be studied even without congestion. All randomness
- * comes from a private PCG32 stream: the same seed reproduces the
- * same drop pattern bit-for-bit.
+ * so loss can be studied even without congestion.
+ *
+ * Two construction modes exist:
+ *  - legacy standalone: a private PCG32 stream seeded from
+ *    FaultConfig::seed (kept for existing benches/tests);
+ *  - registry-backed: the injector draws from a named FaultDomain of
+ *    a FaultRegistry, so link faults derive from the same master seed
+ *    as memory and device faults and land in the same recovery
+ *    ledger. Either way the same seed reproduces the same drop
+ *    pattern bit-for-bit.
  */
 
 #ifndef NETDIMM_TRANSPORT_FAULTINJECTOR_HH
 #define NETDIMM_TRANSPORT_FAULTINJECTOR_HH
 
 #include "net/Link.hh"
+#include "sim/Fault.hh"
 #include "sim/Random.hh"
 #include "sim/Stats.hh"
 
@@ -33,11 +41,26 @@ struct FaultConfig
 class FaultInjector : public LinkFaultHook
 {
   public:
+    /** Legacy standalone mode: a private stream owned by this hook. */
     explicit FaultInjector(const FaultConfig &cfg)
-        : _cfg(cfg), _rng(cfg.seed, 0x5bf0f5da61a9e5a5ull)
+        : _cfg(cfg), _owned(std::make_unique<FaultDomain>(
+                         "link", cfg.seed)),
+          _domain(_owned.get())
     {
-        ND_ASSERT(cfg.dropProb >= 0.0 && cfg.dropProb <= 1.0);
-        ND_ASSERT(cfg.corruptProb >= 0.0 && cfg.corruptProb <= 1.0);
+        checkProbs();
+    }
+
+    /**
+     * Registry-backed mode: draw decisions from the domain named
+     * @p domain_name of @p reg, so this link's fault schedule derives
+     * from the registry's master seed. @p reg must outlive the hook.
+     */
+    FaultInjector(FaultRegistry &reg, const std::string &domain_name,
+                  double drop_prob, double corrupt_prob)
+        : _cfg{drop_prob, corrupt_prob, reg.masterSeed()},
+          _domain(&reg.domain(domain_name))
+    {
+        checkProbs();
     }
 
     Verdict
@@ -46,17 +69,22 @@ class FaultInjector : public LinkFaultHook
         _judged.inc();
         // One uniform draw per frame keeps the stream consumption
         // independent of the configured probabilities.
-        double u = _rng.uniformDouble();
+        double u = _domain->uniform();
         if (u < _cfg.dropProb) {
             _drops.inc();
+            _domain->noteInjected();
             return Verdict::Drop;
         }
         if (u < _cfg.dropProb + _cfg.corruptProb) {
             _corruptions.inc();
+            _domain->noteInjected();
             return Verdict::Corrupt;
         }
         return Verdict::Deliver;
     }
+
+    /** The domain decisions roll against (never null). */
+    FaultDomain *domain() { return _domain; }
 
     std::uint64_t framesJudged() const { return _judged.value(); }
     std::uint64_t framesDropped() const { return _drops.value(); }
@@ -66,8 +94,17 @@ class FaultInjector : public LinkFaultHook
     }
 
   private:
+    void
+    checkProbs() const
+    {
+        ND_ASSERT(_cfg.dropProb >= 0.0 && _cfg.dropProb <= 1.0);
+        ND_ASSERT(_cfg.corruptProb >= 0.0 && _cfg.corruptProb <= 1.0);
+    }
+
     const FaultConfig _cfg;
-    Random _rng;
+    /** Owned domain in standalone mode; null when registry-backed. */
+    std::unique_ptr<FaultDomain> _owned;
+    FaultDomain *_domain;
     stats::Scalar _judged, _drops, _corruptions;
 };
 

@@ -15,11 +15,12 @@ IperfFlow::IperfFlow(EventQueue &eq, std::string name, Node &sender,
     // Data path: receiver counts segments and returns an ACK on the
     // mirrored flow id.
     _receiver.setReceiveHandler(
-        [this](const PacketPtr &pkt, Tick) {
+        [this](const PacketPtr &pkt, Tick t) {
             if (!_running)
                 return;
             _bytes.inc(pkt->bytes);
             _segs.inc();
+            _latencyUs.sample(ticksToUs(t - pkt->born));
             PacketPtr ack = _receiver.makeTxPacket(
                 64, _sender.id(), /*flow=*/100 + pkt->flowId);
             _receiver.sendPacket(ack);
@@ -52,9 +53,10 @@ IperfFlow::enableReliable(const TransportConfig &cfg)
         // Self-clocking refill: every delivered segment enqueues the
         // next one, like the raw mode's ACK-released segments.
         flow->setDeliveryHandler(
-            [this, f](const PacketPtr &pkt, Tick) {
+            [this, f](const PacketPtr &pkt, Tick t) {
                 _bytes.inc(pkt->bytes);
                 _segs.inc();
+                _latencyUs.sample(ticksToUs(t - pkt->born));
                 if (_running)
                     f->send(_segBytes);
             });
@@ -93,6 +95,34 @@ IperfFlow::ecnEchoes() const
     std::uint64_t n = 0;
     for (const auto &f : _flows)
         n += f->ecnEchoes();
+    return n;
+}
+
+std::uint64_t
+IperfFlow::timeouts() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : _flows)
+        n += f->timeouts();
+    return n;
+}
+
+std::uint64_t
+IperfFlow::enqueuedBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &f : _flows)
+        n += f->enqueuedBytes();
+    return n;
+}
+
+std::uint32_t
+IperfFlow::abortedFlows() const
+{
+    std::uint32_t n = 0;
+    for (const auto &f : _flows)
+        if (f->aborted())
+            ++n;
     return n;
 }
 

@@ -62,6 +62,15 @@ class IperfFlow : public SimObject
     std::uint64_t retransmissions() const;
     /** Total ECN echoes seen by the senders (reliable mode only). */
     std::uint64_t ecnEchoes() const;
+    /** Total RTO firings across streams (reliable mode only). */
+    std::uint64_t timeouts() const;
+    /** Bytes handed to the senders (reliable mode only). */
+    std::uint64_t enqueuedBytes() const;
+    /** Streams that gave up after max retries (reliable mode only). */
+    std::uint32_t abortedFlows() const;
+
+    /** Mean segment delivery latency (born to delivered), us. */
+    double meanLatencyUs() const { return _latencyUs.mean(); }
 
     /** Goodput measured at the receiver since start(), Gbps. */
     double goodputGbps() const;
@@ -81,6 +90,7 @@ class IperfFlow : public SimObject
     std::vector<std::unique_ptr<TransportFlow>> _flows;
 
     stats::Scalar _bytes, _segs;
+    stats::Average _latencyUs;
 
     void sendSegment();
 };
