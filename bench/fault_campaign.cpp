@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,7 +41,7 @@ using namespace netdimm;
 namespace
 {
 
-constexpr double kWindowUs = 2000.0;
+double windowUs = 2000.0; // --short shrinks the window
 constexpr std::uint64_t kSeed = 7;
 
 struct Result
@@ -104,10 +105,10 @@ runOne(const std::string &cls, double rate)
     flow.enableReliable(sys.transport);
     flow.start();
 
-    Tick window = usToTicks(kWindowUs);
+    Tick window = usToTicks(windowUs);
     // Drain safety net: a recovery bug that keeps retransmitting
     // forever trips the tick limit instead of wedging the campaign.
-    eq.setTickLimit(usToTicks(kWindowUs * 50.0));
+    eq.setTickLimit(usToTicks(windowUs * 50.0));
     eq.run(window);
 
     Result r;
@@ -152,13 +153,20 @@ runOne(const std::string &cls, double rate)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool short_mode = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--short") == 0)
+            short_mode = true;
+    if (short_mode)
+        windowUs = 800.0;
+
     setQuiet(true);
 
     std::printf("=== Fault campaign: reliable iperf between two "
                 "NetDIMM nodes, %.0f us window, seed %llu ===\n\n",
-                kWindowUs, static_cast<unsigned long long>(kSeed));
+                windowUs, static_cast<unsigned long long>(kSeed));
 
     Result base = runOne("baseline", 0.0);
 
@@ -196,10 +204,13 @@ main()
                     zero.goodputGbps, base.goodputGbps);
 
     bool all_recovered = true;
+    std::vector<double> rates = {0.001, 0.01};
+    if (short_mode)
+        rates = {0.01};
     for (const std::string &cls :
          {std::string("link"), std::string("ecc"),
           std::string("device"), std::string("rowclone")}) {
-        for (double rate : {0.001, 0.01}) {
+        for (double rate : rates) {
             Result r = runOne(cls, rate);
             row(cls, rate, r);
             if (r.unrecovered != 0)

@@ -116,6 +116,7 @@ Node::connectTo(EthLink &link)
 {
     EthLink *l = &link;
     NetEndpoint *self = endpoint();
+    _wire = l;
     setWire([l, self](const PacketPtr &pkt) { l->send(self, pkt); });
 }
 
@@ -263,6 +264,19 @@ Node::printStats(std::ostream &os) const
         ac.add("fastHits", double(_allocCache->fastHits()));
         ac.add("slowAllocs", double(_allocCache->slowAllocs()));
         ac.print(os);
+    }
+
+    if (_wire) {
+        StatGroup w(name() + ".wire");
+        w.add("up", _wire->up() ? 1.0 : 0.0);
+        w.add("framesCarried", double(_wire->framesCarried()));
+        w.add("bytesCarried", double(_wire->bytesCarried()));
+        w.add("framesDropped", double(_wire->framesDropped()));
+        w.add("framesCorrupted", double(_wire->framesCorrupted()));
+        w.add("framesDroppedLinkDown",
+              double(_wire->framesDroppedLinkDown()));
+        w.add("downEvents", double(_wire->downEvents()));
+        w.print(os);
     }
 
     if (_faults) {

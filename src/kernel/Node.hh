@@ -51,7 +51,9 @@ class Node : public SimObject
     NetEndpoint *endpoint();
     /** Point the NIC's transmit side at a link or fabric. */
     void setWire(std::function<void(const PacketPtr &)> wire);
-    /** Convenience: wire this node to one side of @p link. */
+    /** Convenience: wire this node to one side of @p link. Remembers
+     *  the link so printStats() can report the access wire (carried /
+     *  fault-dropped / corrupted / link-down frames, up state). */
     void connectTo(EthLink &link);
 
     // -- application API --------------------------------------------------
@@ -98,6 +100,8 @@ class Node : public SimObject
     AllocCache *allocCache() { return _allocCache.get(); }
     /** Null unless cfg.faults.enabled. */
     FaultRegistry *faults() { return _faults.get(); }
+    /** The access link wired by connectTo(); null before that. */
+    EthLink *wire() { return _wire; }
 
   private:
     SystemConfig _cfg; ///< owned copy; benches tweak before building
@@ -115,6 +119,9 @@ class Node : public SimObject
     std::unique_ptr<NetdimmZoneAllocator> _zoneAlloc;
     std::unique_ptr<AllocCache> _allocCache;
     std::unique_ptr<Driver> _driver;
+
+    /** Access link wired by connectTo(); not owned. */
+    EthLink *_wire = nullptr;
 
     /** Round-robin application pages for standard-driver sources. */
     std::vector<Addr> _appPages;

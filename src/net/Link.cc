@@ -27,10 +27,55 @@ EthLink::frameTicks(std::uint32_t bytes) const
 }
 
 void
+EthLink::setLinkState(bool up)
+{
+    if (up == _up)
+        return;
+    _up = up;
+    if (!up) {
+        // Everything currently on the wire belongs to the old epoch
+        // and is dropped at its arrival event.
+        ++_epoch;
+        _downEvents.inc();
+        if (_domain)
+            _domain->noteInjected();
+        debugLog("%s: link down (epoch %llu)", name().c_str(),
+                 static_cast<unsigned long long>(_epoch));
+    } else {
+        if (_domain)
+            _domain->noteRecovered();
+        debugLog("%s: link up", name().c_str());
+    }
+    for (auto &l : _listeners)
+        l(*this, up);
+}
+
+void
+EthLink::scheduleFlap(Tick down_at, Tick duration)
+{
+    ND_ASSERT(down_at >= curTick() && duration > 0);
+    // Maintenance priority: a flap scheduled for tick T applies
+    // before same-tick traffic, so "down at T" is unambiguous.
+    eventq().schedule(
+        down_at, [this] { setLinkState(false); },
+        EventPriority::Maintenance);
+    eventq().schedule(
+        down_at + duration, [this] { setLinkState(true); },
+        EventPriority::Maintenance);
+}
+
+void
 EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
 {
     ND_ASSERT(_endA && _endB);
     ND_ASSERT(from == _endA || from == _endB);
+    if (!_up) {
+        _dropsDown.inc();
+        debugLog("%s: down, dropping frame %llu at the transmitter",
+                 name().c_str(),
+                 static_cast<unsigned long long>(pkt->id));
+        return;
+    }
     int dir = (from == _endA) ? 0 : 1;
     NetEndpoint *to = (from == _endA) ? _endB : _endA;
 
@@ -64,7 +109,20 @@ EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
         }
     }
 
-    eventq().schedule(arrival, [to, pkt] { to->deliver(pkt); });
+    std::uint64_t epoch = _epoch;
+    eventq().schedule(arrival, [this, to, pkt, epoch] {
+        // A frame survives only if the link never went down while it
+        // was in flight (and is not down right now).
+        if (!_up || epoch != _epoch) {
+            _dropsDown.inc();
+            debugLog("%s: frame %llu was in flight on a dying link, "
+                     "dropped",
+                     name().c_str(),
+                     static_cast<unsigned long long>(pkt->id));
+            return;
+        }
+        to->deliver(pkt);
+    });
 }
 
 double

@@ -7,14 +7,25 @@
  * then adds cable propagation and the receiver's MAC/PHY pipeline.
  * Per-direction transmit occupancy provides store-and-forward
  * back-pressure-free bandwidth limiting.
+ *
+ * A link also carries an up/down state. Going down drops every frame
+ * still in flight (counted in framesDroppedLinkDown) and refuses new
+ * sends; both edges notify registered state listeners synchronously,
+ * which is what lets a switch exclude the link from its ECMP groups
+ * at detection time instead of waiting for a transport timeout.
+ * Deterministic flap schedules (down at tick T for duration D) drive
+ * the state from scheduled events, and an optional FaultDomain books
+ * each down edge as an injected fault and each recovery as recovered.
  */
 
 #ifndef NETDIMM_NET_LINK_HH
 #define NETDIMM_NET_LINK_HH
 
 #include <functional>
+#include <vector>
 
 #include "net/Packet.hh"
+#include "sim/Fault.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
 #include "sim/SystemConfig.hh"
@@ -55,6 +66,9 @@ class LinkFaultHook
 class EthLink : public SimObject
 {
   public:
+    /** Observes up/down transitions of a link (switches, topology). */
+    using StateListener = std::function<void(EthLink &, bool up)>;
+
     EthLink(EventQueue &eq, std::string name, const EthConfig &cfg);
 
     /** Wire both ends. Must be called before send(). */
@@ -76,15 +90,57 @@ class EthLink : public SimObject
      */
     void setFaultHook(LinkFaultHook *hook) { _fault = hook; }
 
+    // -- link state ------------------------------------------------------
+    bool up() const { return _up; }
+
+    /**
+     * Force the link up or down now. Idempotent; an actual transition
+     * notifies every registered listener synchronously. A down edge
+     * dooms the frames currently in flight: they are counted in
+     * framesDroppedLinkDown() when their arrival event fires.
+     */
+    void setLinkState(bool up);
+
+    /**
+     * Deterministic flap: go down at absolute tick @p down_at and
+     * recover @p duration ticks later. May be called repeatedly to
+     * build a schedule; consumes no randomness.
+     */
+    void scheduleFlap(Tick down_at, Tick duration);
+
+    /**
+     * Book up/down transitions in @p domain's recovery ledger: each
+     * down edge counts injected, each recovery recovered. Not owned.
+     */
+    void setFaultDomain(FaultDomain *domain) { _domain = domain; }
+
+    /** Register @p l for up/down transition callbacks. */
+    void addStateListener(StateListener l)
+    {
+        _listeners.push_back(std::move(l));
+    }
+
     std::uint64_t framesCarried() const { return _frames.value(); }
     std::uint64_t bytesCarried() const { return _bytes.value(); }
     /** Frames dropped on the wire by the fault hook. */
     std::uint64_t framesDropped() const { return _dropsFault.value(); }
-    /** Frames delivered with a corrupted payload (FCS fail). */
+    /**
+     * Frames corrupted in flight (bad FCS). A corrupted frame still
+     * occupies the wire but the receiving MAC's FCS check discards
+     * it, so it is never delivered to a driver.
+     */
     std::uint64_t framesCorrupted() const
     {
         return _corruptFault.value();
     }
+    /** Frames lost to link-down: sent while down or in flight on a
+     *  dying link. */
+    std::uint64_t framesDroppedLinkDown() const
+    {
+        return _dropsDown.value();
+    }
+    /** Down edges observed so far. */
+    std::uint64_t downEvents() const { return _downEvents.value(); }
 
     /** Achieved goodput since construction, Gbps. */
     double goodputGbps() const;
@@ -94,13 +150,22 @@ class EthLink : public SimObject
     NetEndpoint *_endA = nullptr;
     NetEndpoint *_endB = nullptr;
     LinkFaultHook *_fault = nullptr;
+    FaultDomain *_domain = nullptr;
     /** Per-direction transmitter-free times: [0]=A->B, [1]=B->A. */
     Tick _txFree[2] = {0, 0};
+
+    bool _up = true;
+    /** Bumped on every down edge; frames in flight from an older
+     *  epoch are dropped at arrival. */
+    std::uint64_t _epoch = 0;
+    std::vector<StateListener> _listeners;
 
     stats::Scalar _frames;
     stats::Scalar _bytes;
     stats::Scalar _dropsFault;
     stats::Scalar _corruptFault;
+    stats::Scalar _dropsDown;
+    stats::Scalar _downEvents;
 };
 
 } // namespace netdimm

@@ -1,5 +1,7 @@
 #include "net/Switch.hh"
 
+#include <algorithm>
+
 namespace netdimm
 {
 
@@ -16,11 +18,76 @@ Switch::Switch(EventQueue &eq, std::string name, const EthConfig &cfg)
 {
 }
 
+Switch::EcmpGroup
+Switch::makeGroup(const std::vector<EthLink *> &members)
+{
+    EcmpGroup g;
+    g.members = members;
+    g.live.reserve(members.size());
+    for (EthLink *m : members) {
+        ND_ASSERT(m);
+        g.live.push_back(m->up());
+        watch(m);
+    }
+    return g;
+}
+
 void
 Switch::addRoute(std::uint32_t node_id, EthLink *out)
 {
     ND_ASSERT(out);
-    _routes[node_id] = out;
+    _routes.add(node_id, makeGroup({out}));
+}
+
+void
+Switch::addEcmpRoute(std::uint32_t node_id,
+                     const std::vector<EthLink *> &members)
+{
+    _routes.add(node_id, makeGroup(members));
+}
+
+void
+Switch::setDefaultRoute(EthLink *out)
+{
+    ND_ASSERT(out);
+    _routes.setDefault(makeGroup({out}));
+}
+
+void
+Switch::watch(EthLink *link)
+{
+    if (!_watched.insert(link).second)
+        return;
+    link->addStateListener(
+        [this](EthLink &l, bool up) { onLinkState(l, up); });
+}
+
+void
+Switch::onLinkState(EthLink &link, bool up)
+{
+    auto update = [&](EcmpGroup &g) {
+        for (std::size_t i = 0; i < g.members.size(); ++i)
+            if (g.members[i] == &link)
+                g.live[i] = up;
+    };
+    for (auto &[node, group] : _routes)
+        update(group);
+    if (_routes.hasDefault())
+        update(_routes.defaultEgress());
+
+    if (!up) {
+        // Frames already queued toward the dead link can never leave;
+        // real switches flush them (and the transport retransmits).
+        auto it = _ports.find(&link);
+        if (it != _ports.end() && !it->second.queue.empty()) {
+            _dropsLinkDown.inc(it->second.queue.size());
+            debugLog("%s: flushing %zu frames queued toward dead "
+                     "link %s",
+                     name().c_str(), it->second.queue.size(),
+                     link.name().c_str());
+            it->second.queue.clear();
+        }
+    }
 }
 
 std::size_t
@@ -32,16 +99,73 @@ Switch::queueDepth(const EthLink *out) const
     return it->second.queue.size() + (it->second.draining ? 1 : 0);
 }
 
+std::uint32_t
+Switch::degradedGroups() const
+{
+    std::uint32_t n = 0;
+    for (const auto &[node, group] : _routes)
+        if (group.liveCount() == 0)
+            ++n;
+    if (_routes.hasDefault() &&
+        _routes.defaultEgress().liveCount() == 0)
+        ++n;
+    return n;
+}
+
+std::uint32_t
+Switch::totalGroups() const
+{
+    return std::uint32_t(_routes.size()) +
+           (_routes.hasDefault() ? 1 : 0);
+}
+
+std::size_t
+Switch::liveMembers(std::uint32_t node_id)
+{
+    EcmpGroup *g = _routes.resolve(node_id);
+    return g ? g->liveCount() : 0;
+}
+
+EthLink *
+Switch::selectMember(EcmpGroup &g, const PacketPtr &pkt) const
+{
+    std::size_t live = g.liveCount();
+    if (live == 0)
+        return nullptr;
+    if (live == g.members.size() && live == 1)
+        return g.members[0];
+    // Hash over the live members only: the k-th live member, where k
+    // is a pure function of the packet's flow-identifying fields. A
+    // member death re-maps only the flows that hashed to it (plus the
+    // unavoidable modulus reshuffle).
+    std::size_t k = std::size_t(
+        ecmpFlowHash(pkt->srcNode, pkt->dstNode, pkt->flowId) % live);
+    for (std::size_t i = 0; i < g.members.size(); ++i) {
+        if (!g.live[i])
+            continue;
+        if (k == 0)
+            return g.members[i];
+        --k;
+    }
+    return nullptr; // unreachable: k < live
+}
+
 void
 Switch::deliver(const PacketPtr &pkt)
 {
-    EthLink *out = _defaultRoute;
-    auto it = _routes.find(pkt->dstNode);
-    if (it != _routes.end())
-        out = it->second;
-    if (!out) {
-        _dropsNoRoute.inc();
+    EcmpGroup *g = _routes.resolve(pkt->dstNode);
+    if (!g) {
+        _routes.noteNoRoute();
         debugLog("%s: no route for node %u, dropping frame %llu",
+                 name().c_str(), pkt->dstNode,
+                 static_cast<unsigned long long>(pkt->id));
+        return;
+    }
+    EthLink *out = selectMember(*g, pkt);
+    if (!out) {
+        _dropsNoPath.inc();
+        debugLog("%s: every path to node %u is down, dropping frame "
+                 "%llu",
                  name().c_str(), pkt->dstNode,
                  static_cast<unsigned long long>(pkt->id));
         return;
@@ -56,6 +180,13 @@ Switch::deliver(const PacketPtr &pkt)
 void
 Switch::enqueue(EthLink *out, const PacketPtr &pkt)
 {
+    // The egress link may have died between lookup and enqueue; the
+    // port-latency pipeline cannot un-route the frame, so it is lost
+    // exactly like a frame flushed from the queue.
+    if (!out->up()) {
+        _dropsLinkDown.inc();
+        return;
+    }
     Port &port = _ports[out];
     // Occupancy counts the frame on the transmitter plus the queue.
     std::size_t depth = port.queue.size() + (port.draining ? 1 : 0);
@@ -139,7 +270,7 @@ void
 ClosFabric::attach(std::uint32_t node_id, NetEndpoint *ep)
 {
     ND_ASSERT(ep);
-    _eps[node_id] = ep;
+    _routes.add(node_id, ep);
 }
 
 Tick
@@ -159,25 +290,25 @@ ClosFabric::pathDelay(std::uint32_t bytes, TrafficLocality loc) const
 void
 ClosFabric::forward(const PacketPtr &pkt, TrafficLocality loc)
 {
-    auto it = _eps.find(pkt->dstNode);
-    if (it == _eps.end()) {
+    NetEndpoint **ep = _routes.resolve(pkt->dstNode);
+    if (!ep) {
         // A frame to a node the fabric does not know is the network
         // equivalent of a misdelivered packet: real fabrics drop it
         // (and a reliable transport retransmits or gives up); only a
         // simulator bug makes it fatal. Warn once, count, drop.
-        if (_dropsNoRoute.value() == 0)
+        if (_routes.dropsNoRoute() == 0)
             warn("%s: unattached node %u, dropping (counted in "
                  "dropsNoRoute)",
                  name().c_str(), pkt->dstNode);
-        _dropsNoRoute.inc();
+        _routes.noteNoRoute();
         return;
     }
-    NetEndpoint *ep = it->second;
+    NetEndpoint *dst = *ep;
 
     Tick delay = pathDelay(pkt->bytes, loc);
     pkt->lat.add(LatComp::Wire, delay);
     _frames.inc();
-    scheduleRel(delay, [ep, pkt] { ep->deliver(pkt); });
+    scheduleRel(delay, [dst, pkt] { dst->deliver(pkt); });
 }
 
 void

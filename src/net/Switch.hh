@@ -1,8 +1,10 @@
 /**
  * @file
- * Store-and-forward Ethernet switch with a destination-node routing
- * table, plus a clos-fabric builder used by the datacenter trace
- * replay (Sec. 5.1: dist-gem5-style switch model, Fig. 12).
+ * Store-and-forward Ethernet switch with multipath (ECMP) routing
+ * over a destination-node table, plus a clos-fabric builder used by
+ * the datacenter trace replay (Sec. 5.1: dist-gem5-style switch
+ * model, Fig. 12). The route-table + no-route accounting shared with
+ * the ClosFabric boundary router lives in net/Routing.hh.
  */
 
 #ifndef NETDIMM_NET_SWITCH_HH
@@ -12,9 +14,11 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "net/Link.hh"
+#include "net/Routing.hh"
 
 namespace netdimm
 {
@@ -27,6 +31,14 @@ namespace netdimm
  * queue is tail-dropped, and frames enqueued at or above the ECN
  * threshold are marked congestion-experienced (the signal the
  * transport layer's DCQCN-style rate controller reacts to).
+ *
+ * A destination maps to an ECMP group of candidate egress links.
+ * Per-packet selection is a deterministic (src, dst, flow) hash over
+ * the group's *live* members only; a link-down notification excludes
+ * the member immediately (failover latency = detection, not timeout)
+ * and flushes the frames queued toward the dead link. When every
+ * member of a group is down the switch counts the frame in
+ * dropsNoPath and reports itself degraded.
  */
 class Switch : public SimObject, public NetEndpoint
 {
@@ -44,11 +56,22 @@ class Switch : public SimObject, public NetEndpoint
     /** Convenience: queue/ECN/latency parameters from @p cfg. */
     Switch(EventQueue &eq, std::string name, const EthConfig &cfg);
 
-    /** Frames destined to @p node_id leave through @p out. */
+    /** Frames destined to @p node_id leave through @p out
+     *  (a single-member ECMP group). */
     void addRoute(std::uint32_t node_id, EthLink *out);
 
+    /**
+     * Frames destined to @p node_id spread over @p members by flow
+     * hash; dead members are excluded until they recover. Replaces
+     * any previous route for the node. An empty member list installs
+     * a fully-withdrawn route (a routing-protocol withdrawal): the
+     * group counts as degraded and its frames land in dropsNoPath.
+     */
+    void addEcmpRoute(std::uint32_t node_id,
+                      const std::vector<EthLink *> &members);
+
     /** Frames with unknown destinations leave through @p out. */
-    void setDefaultRoute(EthLink *out) { _defaultRoute = out; }
+    void setDefaultRoute(EthLink *out);
 
     void deliver(const PacketPtr &pkt) override;
 
@@ -58,7 +81,14 @@ class Switch : public SimObject, public NetEndpoint
     /** Frames dropped for lack of a route (and no default route). */
     std::uint64_t dropsNoRoute() const
     {
-        return _dropsNoRoute.value();
+        return _routes.dropsNoRoute();
+    }
+    /** Frames whose ECMP group had every member down. */
+    std::uint64_t dropsNoPath() const { return _dropsNoPath.value(); }
+    /** Frames flushed from an egress queue when its link died. */
+    std::uint64_t dropsLinkDown() const
+    {
+        return _dropsLinkDown.value();
     }
     /** Frames ECN-marked at enqueue. */
     std::uint64_t ecnMarks() const { return _ecnMarks.value(); }
@@ -67,7 +97,34 @@ class Switch : public SimObject, public NetEndpoint
     /** Egress depth (frames) currently queued toward @p out. */
     std::size_t queueDepth(const EthLink *out) const;
 
+    /** ECMP groups whose members are currently all down. */
+    std::uint32_t degradedGroups() const;
+    /** Total ECMP groups installed (incl. the default route). */
+    std::uint32_t totalGroups() const;
+    /** True while any group has no live member. */
+    bool degraded() const { return degradedGroups() > 0; }
+    /** Live members of the group routing @p node_id (0 if none). */
+    std::size_t liveMembers(std::uint32_t node_id);
+
   private:
+    /** One multipath route: candidate egress links + live set. */
+    struct EcmpGroup
+    {
+        std::vector<EthLink *> members;
+        /** live[i] mirrors members[i]->up(), maintained by link-state
+         *  notifications so exclusion is immediate. */
+        std::vector<bool> live;
+
+        std::size_t
+        liveCount() const
+        {
+            std::size_t n = 0;
+            for (bool l : live)
+                n += l ? 1 : 0;
+            return n;
+        }
+    };
+
     /** Egress state of one output link. */
     struct Port
     {
@@ -79,15 +136,22 @@ class Switch : public SimObject, public NetEndpoint
     Tick _portLatency;
     std::uint32_t _queueFrames;
     std::uint32_t _ecnThreshold;
-    std::map<std::uint32_t, EthLink *> _routes;
-    EthLink *_defaultRoute = nullptr;
+    RouteTable<EcmpGroup> _routes;
+    /** Links this switch already listens to for up/down edges. */
+    std::set<EthLink *> _watched;
     std::map<EthLink *, Port> _ports;
     stats::Scalar _frames;
     stats::Scalar _dropsQueue;
-    stats::Scalar _dropsNoRoute;
+    stats::Scalar _dropsNoPath;
+    stats::Scalar _dropsLinkDown;
     stats::Scalar _ecnMarks;
     std::uint64_t _maxDepth = 0;
 
+    EcmpGroup makeGroup(const std::vector<EthLink *> &members);
+    void watch(EthLink *link);
+    void onLinkState(EthLink &link, bool up);
+    /** Flow-hash one egress out of @p g's live members, or null. */
+    EthLink *selectMember(EcmpGroup &g, const PacketPtr &pkt) const;
     void enqueue(EthLink *out, const PacketPtr &pkt);
     void drain(EthLink *out);
 };
@@ -147,15 +211,14 @@ class ClosFabric : public SimObject, public NetEndpoint
     /** Frames dropped because their destination was never attached. */
     std::uint64_t dropsNoRoute() const
     {
-        return _dropsNoRoute.value();
+        return _routes.dropsNoRoute();
     }
 
   private:
     const EthConfig _cfg;
-    std::map<std::uint32_t, NetEndpoint *> _eps;
+    RouteTable<NetEndpoint *> _routes;
     TrafficLocality _defaultLoc = TrafficLocality::IntraCluster;
     stats::Scalar _frames;
-    stats::Scalar _dropsNoRoute;
 };
 
 } // namespace netdimm

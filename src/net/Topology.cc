@@ -27,6 +27,13 @@ LeafSpineTopology::LeafSpineTopology(EventQueue &eq, std::string name,
                     std::to_string(s),
                 cfg);
             link->connect(_leaves[l].get(), _spines[s].get());
+            // Any uplink transition changes which spines can complete
+            // a leaf-to-leaf path, so re-announce the cross-rack ECMP
+            // groups (the routing-protocol withdrawal/advertisement a
+            // real fabric would run). The link's new state is already
+            // set when listeners fire.
+            link->addStateListener(
+                [this](EthLink &, bool) { reinstallEcmpRoutes(); });
             _up[l].push_back(std::move(link));
         }
     }
@@ -60,13 +67,99 @@ LeafSpineTopology::installRoutes(std::uint32_t node_id,
     for (std::uint32_t s = 0; s < _spines.size(); ++s)
         _spines[s]->addRoute(node_id, _up[leaf][s].get());
 
-    // Every other leaf sends up to the ECMP-chosen spine.
-    std::uint32_t spine = node_id % std::uint32_t(_spines.size());
+    // Every other leaf load-balances over the spine tier: the ECMP
+    // group holds one uplink per spine that can still complete the
+    // path, the switch flow-hashes over the live members, and a spine
+    // death only removes members instead of blackholing the flows
+    // pinned to it.
     for (std::uint32_t l = 0; l < _leaves.size(); ++l) {
         if (l == leaf)
             continue;
-        _leaves[l]->addRoute(node_id, _up[l][spine].get());
+        _leaves[l]->addEcmpRoute(node_id, crossRackMembers(l, leaf));
     }
+}
+
+std::vector<EthLink *>
+LeafSpineTopology::crossRackMembers(std::uint32_t from_leaf,
+                                    std::uint32_t to_leaf) const
+{
+    // A spine is a usable member only while its far leg -- the link
+    // down to the destination leaf -- is up. The near leg's own state
+    // is left to the switch's live-set tracking, so a local link
+    // death still fails over at the notification without a route
+    // reinstall in between.
+    std::vector<EthLink *> members;
+    members.reserve(_spines.size());
+    for (std::uint32_t s = 0; s < _spines.size(); ++s)
+        if (_up[to_leaf][s]->up())
+            members.push_back(_up[from_leaf][s].get());
+    return members;
+}
+
+void
+LeafSpineTopology::reinstallEcmpRoutes()
+{
+    for (const Attachment &at : _attachments)
+        for (std::uint32_t l = 0; l < _leaves.size(); ++l)
+            if (l != at.leaf)
+                _leaves[l]->addEcmpRoute(
+                    at.nodeId, crossRackMembers(l, at.leaf));
+}
+
+void
+LeafSpineTopology::failSpine(std::uint32_t s)
+{
+    ND_ASSERT(s < _spines.size());
+    for (std::uint32_t l = 0; l < _leaves.size(); ++l)
+        _up[l][s]->setLinkState(false);
+}
+
+void
+LeafSpineTopology::recoverSpine(std::uint32_t s)
+{
+    ND_ASSERT(s < _spines.size());
+    for (std::uint32_t l = 0; l < _leaves.size(); ++l)
+        _up[l][s]->setLinkState(true);
+}
+
+void
+LeafSpineTopology::attachFaultDomains(FaultRegistry &reg)
+{
+    for (auto &row : _up)
+        for (auto &link : row)
+            link->setFaultDomain(&reg.domain(link->name()));
+}
+
+FabricHealth
+LeafSpineTopology::health() const
+{
+    FabricHealth h;
+    for (const auto &row : _up) {
+        for (const auto &link : row) {
+            ++h.totalUplinks;
+            if (link->up())
+                ++h.liveUplinks;
+        }
+    }
+    h.bisectionGbps = double(h.liveUplinks) * _cfg.gbps;
+    // Degradation is judged at the leaves, where traffic enters the
+    // fabric: a leaf group with no usable path means an unreachable
+    // destination. A spine's own dead single-member group is not
+    // counted -- route withdrawal already steers traffic around it.
+    for (const auto &sw : _leaves) {
+        h.degradedGroups += sw->degradedGroups();
+        h.totalGroups += sw->totalGroups();
+    }
+    return h;
+}
+
+bool
+LeafSpineTopology::degraded() const
+{
+    for (const auto &sw : _leaves)
+        if (sw->degraded())
+            return true;
+    return false;
 }
 
 std::uint64_t
@@ -77,6 +170,31 @@ LeafSpineTopology::fabricFrames() const
         total += sw->framesForwarded();
     for (const auto &sw : _spines)
         total += sw->framesForwarded();
+    return total;
+}
+
+std::uint64_t
+LeafSpineTopology::dropsNoPath() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : _leaves)
+        total += sw->dropsNoPath();
+    for (const auto &sw : _spines)
+        total += sw->dropsNoPath();
+    return total;
+}
+
+std::uint64_t
+LeafSpineTopology::dropsLinkDown() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : _leaves)
+        total += sw->dropsLinkDown();
+    for (const auto &sw : _spines)
+        total += sw->dropsLinkDown();
+    for (const auto &row : _up)
+        for (const auto &link : row)
+            total += link->framesDroppedLinkDown();
     return total;
 }
 

@@ -6,8 +6,20 @@
  *
  * Nodes attach to leaves (top-of-rack switches); every leaf connects
  * to every spine. Rack-local frames cross one switch; others cross
- * leaf -> spine -> leaf (three store-and-forward hops). Spine choice
- * is a deterministic hash of the (src, dst) pair, modelling ECMP.
+ * leaf -> spine -> leaf (three store-and-forward hops). Inter-rack
+ * routes are full ECMP groups over every spine: per-packet spine
+ * choice is a deterministic (src, dst, flow) hash over the group's
+ * live members (net/Routing.hh), so one flow stays on one path while
+ * distinct flows spread across spines.
+ *
+ * The topology is failure-aware: individual uplinks or whole spine
+ * switches can fail and recover (immediately or on a deterministic
+ * flap schedule), switches exclude dead members from their ECMP
+ * groups at the link-down notification, the topology withdraws a
+ * spine from the remote leaves' groups when its leg to the
+ * destination leaf dies (so nothing hashes into a blackhole), and
+ * health() reports live/total uplinks, remaining bisection capacity
+ * and per-group degradation.
  */
 
 #ifndef NETDIMM_NET_TOPOLOGY_HH
@@ -20,6 +32,26 @@
 
 namespace netdimm
 {
+
+/** Snapshot of the fabric's failure state. */
+struct FabricHealth
+{
+    std::uint32_t liveUplinks = 0;
+    std::uint32_t totalUplinks = 0;
+    /**
+     * Aggregate capacity remaining across the leaf/spine cut, Gbps:
+     * every live uplink contributes its line rate. Full-fabric value
+     * is leaves * spines * linkGbps.
+     */
+    double bisectionGbps = 0.0;
+    /** Leaf ECMP groups with no usable path left (a leaf group with
+     *  no live member means an unreachable destination; spine-side
+     *  groups are steered around by route withdrawal instead). */
+    std::uint32_t degradedGroups = 0;
+    std::uint32_t totalGroups = 0;
+
+    bool fullyConnected() const { return degradedGroups == 0; }
+};
 
 class LeafSpineTopology : public SimObject
 {
@@ -42,6 +74,11 @@ class LeafSpineTopology : public SimObject
 
     Switch &leaf(std::uint32_t i) { return *_leaves.at(i); }
     Switch &spine(std::uint32_t i) { return *_spines.at(i); }
+    /** The leaf->spine uplink between @p l and @p s. */
+    EthLink &uplink(std::uint32_t l, std::uint32_t s)
+    {
+        return *_up.at(l).at(s);
+    }
     std::uint32_t numLeaves() const
     {
         return std::uint32_t(_leaves.size());
@@ -51,8 +88,56 @@ class LeafSpineTopology : public SimObject
         return std::uint32_t(_spines.size());
     }
 
+    // -- failure injection ----------------------------------------------
+    /** Take the leaf @p l <-> spine @p s uplink down / up now. */
+    void failLink(std::uint32_t l, std::uint32_t s)
+    {
+        uplink(l, s).setLinkState(false);
+    }
+    void recoverLink(std::uint32_t l, std::uint32_t s)
+    {
+        uplink(l, s).setLinkState(true);
+    }
+
+    /**
+     * Fail / recover a whole spine switch as the composite of its
+     * uplinks: every leaf loses (regains) that ECMP member at once.
+     */
+    void failSpine(std::uint32_t s);
+    void recoverSpine(std::uint32_t s);
+
+    /** Deterministic flap of one uplink: down at @p down_at for
+     *  @p duration (absolute ticks). */
+    void scheduleLinkFlap(std::uint32_t l, std::uint32_t s,
+                          Tick down_at, Tick duration)
+    {
+        uplink(l, s).scheduleFlap(down_at, duration);
+    }
+
+    /**
+     * Book every uplink's up/down transitions in @p reg: each link
+     * gets the domain named after it, so flap ledgers replay from the
+     * registry's master seed and close when every down edge recovered.
+     */
+    void attachFaultDomains(FaultRegistry &reg);
+
+    // -- health ---------------------------------------------------------
+    /** Live/total uplinks, remaining bisection capacity, degraded
+     *  ECMP groups across all switches. */
+    FabricHealth health() const;
+
+    /** True while any leaf has an ECMP group with no usable path. */
+    bool degraded() const;
+
     /** Total frames forwarded across every switch. */
     std::uint64_t fabricFrames() const;
+    /** Frames dropped fabric-wide because every candidate path was
+     *  down (sum of the switches' dropsNoPath). */
+    std::uint64_t dropsNoPath() const;
+    /** Frames lost to link-down fabric-wide: in flight on a dying
+     *  uplink, flushed from an egress queue, or sent into a dead
+     *  link. */
+    std::uint64_t dropsLinkDown() const;
 
   private:
     const EthConfig _cfg;
@@ -72,6 +157,16 @@ class LeafSpineTopology : public SimObject
     /** Re-announce routes after a new attachment. */
     void installRoutes(std::uint32_t node_id, std::uint32_t leaf,
                        EthLink *access);
+
+    /** Uplinks from @p from_leaf usable toward @p to_leaf: one per
+     *  spine whose far leg (to the destination leaf) is up. */
+    std::vector<EthLink *> crossRackMembers(std::uint32_t from_leaf,
+                                            std::uint32_t to_leaf) const;
+
+    /** Withdraw / re-advertise cross-rack ECMP groups after an uplink
+     *  transition, so no leaf keeps hashing flows onto a spine that
+     *  lost its path to the destination. */
+    void reinstallEcmpRoutes();
 };
 
 } // namespace netdimm

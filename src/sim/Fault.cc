@@ -90,6 +90,15 @@ FaultRegistry::unrecovered() const
     return n;
 }
 
+bool
+FaultRegistry::ledgerClosed() const
+{
+    for (const auto &[name, d] : _domains)
+        if (!d->ledgerClosed())
+            return false;
+    return true;
+}
+
 void
 FaultRegistry::print(std::ostream &os) const
 {

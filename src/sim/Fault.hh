@@ -76,6 +76,14 @@ class FaultDomain
     std::uint64_t recovered() const { return _recovered.value(); }
     std::uint64_t unrecovered() const { return _unrecovered.value(); }
 
+    /** True when every injected fault was recovered and none were
+     *  declared unrecoverable. */
+    bool
+    ledgerClosed() const
+    {
+        return injected() == recovered() && unrecovered() == 0;
+    }
+
     /** Register this domain's counters with @p g for reporting. */
     void addStats(stats::StatGroup &g) const;
 
@@ -117,6 +125,10 @@ class FaultRegistry
     std::uint64_t injected() const;
     std::uint64_t recovered() const;
     std::uint64_t unrecovered() const;
+
+    /** True when every domain's ledger is closed: all injected
+     *  faults recovered, nothing unrecoverable. */
+    bool ledgerClosed() const;
 
     /** One line per domain: decisions/injected/recovered/unrecovered. */
     void print(std::ostream &os) const;

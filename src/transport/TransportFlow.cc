@@ -129,12 +129,20 @@ TransportFlow::onSenderReceive(const PacketPtr &ack)
             cancelRto();
         finishIfDone();
         kickTx();
+    } else if (ack->ackSeq < _base) {
+        // Stale ACK: a path change (ECMP reroute after a link death)
+        // can deliver an older cumulative ACK after a newer one.
+        // Counting it as a duplicate would trigger a spurious
+        // go-back-N for every reroute and, under sustained reorder,
+        // livelock the window; it carries no new information, drop it.
+        _staleAcks.inc();
     } else if (_base < _highWater && _base >= _recover) {
-        // Duplicate cumulative ACK: the receiver is still waiting for
-        // _base, so something in the window was lost. While a
-        // retransmitted window is still in flight (_base < _recover)
-        // its own duplicates must not trigger another go-back-N, or
-        // each recovery breeds the next (NewReno's recovery point).
+        // Duplicate cumulative ACK (ackSeq == _base): the receiver is
+        // still waiting for _base, so something in the window was
+        // lost. While a retransmitted window is still in flight
+        // (_base < _recover) its own duplicates must not trigger
+        // another go-back-N, or each recovery breeds the next
+        // (NewReno's recovery point).
         if (++_dupAcks >= _cfg.dupAckThreshold) {
             _dupAcks = 0;
             _recover = _highWater;

@@ -8,7 +8,10 @@
  * unacknowledged segments guarded by an exponentially backed-off RTO
  * timer with bounded retries. The receiver half delivers payload
  * strictly in order and answers every data segment with a cumulative
- * ACK that echoes the segment's ECN mark.
+ * ACK that echoes the segment's ECN mark. Stale (reordered) ACKs --
+ * the signature of an ECMP reroute after a fabric failover -- are
+ * recognised and ignored rather than treated as loss duplicates, so a
+ * path change cannot trigger spurious go-back-N storms.
  *
  * Rate control is DCQCN-flavored (Zhu et al., SIGCOMM'15): an ECN
  * echo cuts the current rate multiplicatively by alpha/2 and raises
@@ -114,6 +117,8 @@ class TransportFlow : public SimObject
     std::uint64_t ecnEchoes() const { return _ecnEchoes.value(); }
     std::uint64_t rateCuts() const { return _rateCuts.value(); }
     std::uint64_t outOfOrderDrops() const { return _oooDrops.value(); }
+    /** Reordered (stale) cumulative ACKs ignored by the sender. */
+    std::uint64_t staleAcks() const { return _staleAcks.value(); }
     double currentRateGbps() const { return _rateGbps; }
 
   private:
@@ -165,7 +170,7 @@ class TransportFlow : public SimObject
     std::uint64_t _expected = 0; ///< next in-order seq awaited
 
     stats::Scalar _delivered, _segsRx, _retx, _timeouts, _fastRetx,
-        _ecnEchoes, _rateCuts, _oooDrops, _acksRx;
+        _ecnEchoes, _rateCuts, _oooDrops, _acksRx, _staleAcks;
 
     void txLoop();
     void kickTx();
