@@ -89,12 +89,59 @@ Llc::access(const MemRequestPtr &req)
         MemRequest::Completion cb;
         EventQueue *eq;
     };
-    auto join = std::make_shared<Join>();
-    join->cb = req->onDone;
-    join->eq = &eventq();
-
     std::uint32_t nlines = 0;
     forEachLine(req->addr, req->size, [&](Addr) { ++nlines; });
+
+    // Single-line fast path (the common case for cacheline-sized
+    // traffic): no join state, the completion rides the hit event or
+    // the fill request directly. Event ordering matches the generic
+    // path exactly: one schedule on a hit, none on a miss.
+    if (nlines == 1) {
+        Addr a = (req->addr / _cfg.lineBytes) * _cfg.lineBytes;
+        Line *l = findLine(a);
+        if (l) {
+            _hits.inc();
+            touch(*l);
+            l->ddio = false;
+            if (req->write)
+                l->dirty = true;
+            Tick done = curTick() + _hitLatency;
+            eventq().schedule(done,
+                              [cb = std::move(req->onDone), done] {
+                                  if (cb)
+                                      cb(done);
+                              });
+            return;
+        }
+        _misses.inc();
+        bool is_write = req->write;
+        MemSource src = req->source;
+        // The completion is too large to nest inside the fill's own
+        // inline completion; park it behind one pooled pointer.
+        auto cbp = std::allocate_shared<MemRequest::Completion>(
+            PoolAlloc<MemRequest::Completion>{}, std::move(req->onDone));
+        auto fill = makeMemRequest(
+            a, _cfg.lineBytes, false, src,
+            [this, a, is_write, src, cbp](Tick t) {
+                std::uint32_t set = setIndex(a);
+                Line &v = victim(set, false, src);
+                v.valid = true;
+                v.tag = a / _cfg.lineBytes;
+                v.dirty = is_write;
+                v.ddio = false;
+                touch(v);
+                if (*cbp)
+                    (*cbp)(t + _hitLatency);
+            });
+        _downstream.access(fill);
+        return;
+    }
+
+    // The cache owns the request's completion from here on; steal it
+    // (move — Completion is move-only and inline).
+    auto join = std::allocate_shared<Join>(PoolAlloc<Join>{});
+    join->cb = std::move(req->onDone);
+    join->eq = &eventq();
     join->left = nlines;
 
     auto lineDone = [join](Tick t) {
@@ -143,10 +190,7 @@ Llc::dmaWrite(Addr addr, std::uint32_t size, MemSource src,
         // Pre-DDIO platform: DMA writes go straight to DRAM.
         invalidate(addr, size);
         auto wr = makeMemRequest(addr, size, true, src,
-                                 [cb = std::move(cb)](Tick t) {
-                                     if (cb)
-                                         cb(t);
-                                 });
+                                 std::move(cb));
         _downstream.access(wr);
         return;
     }
@@ -175,10 +219,7 @@ Llc::dmaRead(Addr addr, std::uint32_t size, MemSource src,
 {
     if (!_cfg.ddioEnabled) {
         auto rd = makeMemRequest(addr, size, false, src,
-                                 [cb = std::move(cb)](Tick t) {
-                                     if (cb)
-                                         cb(t);
-                                 });
+                                 std::move(cb));
         _downstream.access(rd);
         return;
     }
@@ -205,12 +246,8 @@ Llc::dmaRead(Addr addr, std::uint32_t size, MemSource src,
         }
         return;
     }
-    auto req = makeMemRequest(
-        miss_first, missing * _cfg.lineBytes, false, src,
-        [cb = std::move(cb)](Tick t) {
-            if (cb)
-                cb(t);
-        });
+    auto req = makeMemRequest(miss_first, missing * _cfg.lineBytes,
+                              false, src, std::move(cb));
     _downstream.access(req);
 }
 
@@ -238,10 +275,7 @@ Llc::flush(Addr addr, std::uint32_t size, MemSource src, Completion cb)
         return;
     }
     auto wb = makeMemRequest(first_dirty, dirty * _cfg.lineBytes, true,
-                             src, [cb = std::move(cb)](Tick t) {
-                                 if (cb)
-                                     cb(t);
-                             });
+                             src, std::move(cb));
     _downstream.access(wb);
 }
 

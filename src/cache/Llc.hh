@@ -17,7 +17,6 @@
 #define NETDIMM_CACHE_LLC_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "mem/MemoryController.hh"
@@ -32,7 +31,8 @@ namespace netdimm
 class Llc : public SimObject, public MemTarget
 {
   public:
-    using Completion = std::function<void(Tick)>;
+    /** Same inline callback type as MemRequest::Completion. */
+    using Completion = MemRequest::Completion;
 
     Llc(EventQueue &eq, std::string name, const CacheConfig &cfg,
         const CpuConfig &cpu, MemTarget &downstream);

@@ -14,8 +14,6 @@
 #ifndef NETDIMM_KERNEL_COPYENGINE_HH
 #define NETDIMM_KERNEL_COPYENGINE_HH
 
-#include <functional>
-
 #include "cache/Llc.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
@@ -27,7 +25,8 @@ namespace netdimm
 class CopyEngine : public SimObject
 {
   public:
-    using Completion = std::function<void(Tick)>;
+    /** Same inline callback type as MemRequest::Completion. */
+    using Completion = MemRequest::Completion;
 
     CopyEngine(EventQueue &eq, std::string name,
                const SystemConfig &cfg, Llc &llc);
@@ -42,6 +41,11 @@ class CopyEngine : public SimObject
     std::uint64_t copies() const { return _copies.value(); }
 
   private:
+    struct CopyState;
+
+    /** Issue the next line read of @p st's window, if any remain. */
+    void issueLine(const std::shared_ptr<CopyState> &st);
+
     const SystemConfig &_cfg;
     Llc &_llc;
     stats::Scalar _bytes, _copies;

@@ -54,7 +54,7 @@ NetdimmDriver::cloneScattered(const PacketPtr &pkt, Tick t1)
         std::uint32_t left = 0;
         Tick lastDone = 0;
     };
-    auto join = std::make_shared<Join>();
+    auto join = std::allocate_shared<Join>(PoolAlloc<Join>{});
 
     std::uint32_t chunks =
         (pkt->bytes + pageBytes - 1) / pageBytes;

@@ -19,12 +19,53 @@ DimmDecoder::DimmDecoder(const DramGeometry &geo) : _geo(geo)
     _slotStride = std::uint64_t(_slots) * pageBytes;
     _subArraysPerRank = geo.banksPerDevice * geo.subArraysPerBank;
     _rankBytes = std::uint64_t(_subArraysPerRank) * sub_array_bytes;
+
+    auto pow2 = [](std::uint64_t v) { return v && !(v & (v - 1)); };
+    auto log2u = [](std::uint64_t v) {
+        std::uint32_t s = 0;
+        while ((std::uint64_t(1) << s) < v)
+            ++s;
+        return s;
+    };
+    _pow2 = pow2(_rankBytes) && pow2(_slots) &&
+            pow2(_pagesPerSubArray) && pow2(_subArraysPerRank) &&
+            pow2(geo.banksPerDevice) && pow2(geo.rowBytes) &&
+            pow2(geo.ranksPerChannel);
+    if (_pow2) {
+        _rankShift = log2u(_rankBytes);
+        _slotsShift = log2u(_slots);
+        _ppsaShift = log2u(_pagesPerSubArray);
+        _banksShift = log2u(geo.banksPerDevice);
+        _rowShift = log2u(geo.rowBytes);
+    }
+    _rowsPerPage = pageBytes / geo.rowBytes;
 }
 
 DramAddress
 DimmDecoder::decode(Addr addr) const
 {
     DramAddress out;
+    if (_pow2) {
+        out.rank = std::uint32_t(addr >> _rankShift) &
+                   (_geo.ranksPerChannel - 1);
+        Addr in_rank = addr & (_rankBytes - 1);
+        static_assert(pageBytes == 4096, "page shift below assumes 4KB");
+        std::uint64_t page_idx = in_rank >> 12;
+        std::uint32_t page_off = std::uint32_t(in_rank) & (pageBytes - 1);
+        std::uint32_t slot = std::uint32_t(page_idx) & (_slots - 1);
+        std::uint64_t group = page_idx >> _slotsShift;
+        std::uint32_t page_slot =
+            std::uint32_t(group) & (_pagesPerSubArray - 1);
+        std::uint64_t sa_group = group >> _ppsaShift;
+        std::uint32_t sa_global =
+            std::uint32_t((sa_group << _slotsShift) + slot) &
+            (_subArraysPerRank - 1);
+        out.bank = sa_global & (_geo.banksPerDevice - 1);
+        out.subArray = sa_global >> _banksShift;
+        out.row = page_slot * _rowsPerPage + (page_off >> _rowShift);
+        out.column = page_off & (_geo.rowBytes - 1);
+        return out;
+    }
     out.rank = std::uint32_t(addr / _rankBytes) % _geo.ranksPerChannel;
     Addr in_rank = addr % _rankBytes;
 

@@ -103,6 +103,21 @@ class DimmDecoder
     std::uint64_t _slotStride;       ///< _slots * pageBytes, e.g. 128KB
     std::uint32_t _subArraysPerRank;
     std::uint64_t _rankBytes;
+
+    /**
+     * Shift/mask fast path: every divisor in decode() is a power of
+     * two for realistic geometries (the reference Fig. 9 layout
+     * included), which turns the eight divisions in the generic
+     * decode into shifts. Falls back to div/mod otherwise; both paths
+     * compute identical coordinates.
+     */
+    bool _pow2 = false;
+    std::uint32_t _rankShift = 0;
+    std::uint32_t _slotsShift = 0;
+    std::uint32_t _ppsaShift = 0;  ///< log2(_pagesPerSubArray)
+    std::uint32_t _banksShift = 0; ///< log2(banksPerDevice)
+    std::uint32_t _rowShift = 0;   ///< log2(rowBytes)
+    std::uint32_t _rowsPerPage = 0;
 };
 
 /** Channel interleaving policy (Sec. 2.3). */

@@ -7,9 +7,10 @@
 #define NETDIMM_MEM_MEMREQUEST_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "sim/InlineFunction.hh"
+#include "sim/Pool.hh"
 #include "sim/Ticks.hh"
 
 namespace netdimm
@@ -36,8 +37,12 @@ enum class MemSource : std::uint8_t
  */
 struct MemRequest
 {
-    /** Completion callback; argument is the finish tick. */
-    using Completion = std::function<void(Tick)>;
+    /**
+     * Completion callback; argument is the finish tick. Inline
+     * storage (no heap) sized for the deepest capture on the rx
+     * path; move-only, like the request that owns it.
+     */
+    using Completion = InlineFunction<void(Tick), 80>;
 
     Addr addr = 0;
     std::uint32_t size = 64;
@@ -64,13 +69,17 @@ struct MemRequest
 
 using MemRequestPtr = std::shared_ptr<MemRequest>;
 
-/** Convenience factory. */
+/**
+ * Pool-aware factory: request + control block in one recycled
+ * allocation, mirroring makePacket().
+ */
 inline MemRequestPtr
 makeMemRequest(Addr addr, std::uint32_t size, bool write, MemSource src,
                MemRequest::Completion cb = nullptr)
 {
-    return std::make_shared<MemRequest>(addr, size, write, src,
-                                        std::move(cb));
+    return std::allocate_shared<MemRequest>(PoolAlloc<MemRequest>{},
+                                            addr, size, write, src,
+                                            std::move(cb));
 }
 
 } // namespace netdimm

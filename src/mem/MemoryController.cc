@@ -14,6 +14,8 @@ MemoryController::MemoryController(EventQueue &eq, std::string name,
       _banks(std::size_t(geo.ranksPerChannel) * geo.banksPerDevice),
       _stats(6)
 {
+    _drainHi = std::size_t(_cfg.writeDrainFraction *
+                           double(_cfg.writeQueueDepth));
     _probeId = eq.registerHealthProbe(this->name(), [this] {
         return std::uint64_t(_readQ.size() + _writeQ.size());
     });
@@ -45,7 +47,7 @@ MemoryController::access(const MemRequestPtr &req)
     std::uint32_t nbeats =
         std::uint32_t((last - first) / cachelineBytes) + 1;
 
-    auto parent = std::make_shared<Parent>();
+    auto parent = std::allocate_shared<Parent>(PoolAlloc<Parent>{});
     parent->req = req;
     parent->beatsLeft = nbeats;
 
@@ -55,6 +57,8 @@ MemoryController::access(const MemRequestPtr &req)
         b.parent = parent;
         b.lineAddr = first + Addr(i) * cachelineBytes;
         b.da = _decoder.decode(b.lineAddr);
+        b.row = b.da.rowId(_geo);
+        b.bankIdx = b.da.rank * _geo.banksPerDevice + b.da.bank;
         b.write = req->write;
         b.ready = ready;
         (req->write ? _writeQ : _readQ).push_back(b);
@@ -80,14 +84,12 @@ MemoryController::pickBeat(Beat &out)
 {
     // Choose queue: reads have priority until the write queue crosses
     // its drain watermark; draining continues until half empty.
-    std::size_t drain_hi = std::size_t(
-        _cfg.writeDrainFraction * double(_cfg.writeQueueDepth));
-    if (_writeQ.size() >= drain_hi)
+    if (_writeQ.size() >= _drainHi)
         _draining = true;
-    if (_writeQ.size() <= drain_hi / 2)
+    if (_writeQ.size() <= _drainHi / 2)
         _draining = false;
 
-    std::deque<Beat> *order[2];
+    BeatQueue *order[2];
     if (_draining || _readQ.empty()) {
         order[0] = &_writeQ;
         order[1] = &_readQ;
@@ -96,7 +98,7 @@ MemoryController::pickBeat(Beat &out)
         order[1] = &_writeQ;
     }
 
-    for (std::deque<Beat> *q : order) {
+    for (BeatQueue *q : order) {
         // FR-FCFS lite: among the beats already ready, prefer a row
         // hit within a small scan window, else the oldest ready one.
         constexpr std::size_t scanWindow = 8;
@@ -109,8 +111,8 @@ MemoryController::pickBeat(Beat &out)
                 continue;
             if (first_ready == limit)
                 first_ready = i;
-            BankState &bs = bank(b.da);
-            if (bs.rowOpen && bs.openRow == b.da.rowId(_geo)) {
+            BankState &bs = _banks[b.bankIdx];
+            if (bs.rowOpen && bs.openRow == b.row) {
                 hit = i;
                 break;
             }
@@ -118,8 +120,8 @@ MemoryController::pickBeat(Beat &out)
         std::size_t pick = (hit != limit) ? hit : first_ready;
         if (pick == limit)
             continue;
-        out = (*q)[pick];
-        q->erase(q->begin() + std::ptrdiff_t(pick));
+        out = std::move((*q)[pick]);
+        q->erase(pick);
         return true;
     }
     return false;
@@ -128,8 +130,8 @@ MemoryController::pickBeat(Beat &out)
 void
 MemoryController::issueBeat(const Beat &beat)
 {
-    BankState &bs = bank(beat.da);
-    std::uint64_t row = beat.da.rowId(_geo);
+    BankState &bs = _banks[beat.bankIdx];
+    std::uint64_t row = beat.row;
 
     // Command issue may run ahead of "now": the controller pipelines
     // the CAS latency of beat N under the data burst of beat N-1, so
@@ -227,13 +229,15 @@ MemoryController::service()
     if (_readQ.empty() && _writeQ.empty())
         return;
 
-    // Whatever remains is not ready yet: find the earliest ready time
-    // and come back then.
+    // Whatever remains is not ready yet. Ready times are curTick +
+    // frontendLatency at enqueue, hence nondecreasing in insertion
+    // order, and pickBeat() preserves that order -- so each queue's
+    // front beat holds its minimum and no scan is needed.
     Tick next = maxTick;
-    for (const Beat &b : _readQ)
-        next = std::min(next, b.ready);
-    for (const Beat &b : _writeQ)
-        next = std::min(next, b.ready);
+    if (!_readQ.empty())
+        next = std::min(next, _readQ[0].ready);
+    if (!_writeQ.empty())
+        next = std::min(next, _writeQ[0].ready);
     scheduleService(std::max(next, curTick() + 1));
 }
 

@@ -22,7 +22,6 @@
 #define NETDIMM_MEM_MEMORYCONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "mem/AddressMap.hh"
@@ -153,8 +152,60 @@ class MemoryController : public SimObject, public MemTarget
         ParentPtr parent;
         DramAddress da;
         Addr lineAddr;
+        std::uint64_t row;     ///< rowId(da), decoded once at enqueue
+        std::uint32_t bankIdx; ///< rank * banksPerDevice + bank
         bool write;
         Tick ready; ///< earliest schedulable tick (frontend applied)
+    };
+
+    /**
+     * FIFO of beats with amortized-zero steady-state allocation: a
+     * vector plus a head cursor. pickBeat() erases inside a small
+     * window at the front (shifting at most that window), and the
+     * dead prefix is reclaimed when the queue drains or outgrows
+     * half the buffer. A deque frees and reallocates its chunks
+     * every time the queue length oscillates around a chunk
+     * boundary, which showed up as the dominant steady-state
+     * allocation source in the replay profile.
+     */
+    class BeatQueue
+    {
+      public:
+        std::size_t size() const { return _buf.size() - _head; }
+        bool empty() const { return _head == _buf.size(); }
+        Beat &operator[](std::size_t i) { return _buf[_head + i]; }
+        const Beat &
+        operator[](std::size_t i) const
+        {
+            return _buf[_head + i];
+        }
+        Beat *begin() { return _buf.data() + _head; }
+        Beat *end() { return _buf.data() + _buf.size(); }
+        const Beat *begin() const { return _buf.data() + _head; }
+        const Beat *end() const { return _buf.data() + _buf.size(); }
+
+        void push_back(Beat b) { _buf.push_back(std::move(b)); }
+
+        /** Remove element @p i (front-relative), preserving order. */
+        void
+        erase(std::size_t i)
+        {
+            for (std::size_t pos = _head + i; pos > _head; --pos)
+                _buf[pos] = std::move(_buf[pos - 1]);
+            ++_head;
+            if (_head == _buf.size()) {
+                _buf.clear(); // capacity retained
+                _head = 0;
+            } else if (_head > 64 && _head > _buf.size() / 2) {
+                _buf.erase(_buf.begin(),
+                           _buf.begin() + std::ptrdiff_t(_head));
+                _head = 0;
+            }
+        }
+
+      private:
+        std::vector<Beat> _buf;
+        std::size_t _head = 0;
     };
 
     struct BankState
@@ -177,8 +228,9 @@ class MemoryController : public SimObject, public MemTarget
     std::vector<BankState> _banks; ///< [rank * banksPerDevice + bank]
     Tick _busReady = 0;
     Tick _busBusyTicks = 0; ///< accumulated bus occupancy
-    std::deque<Beat> _readQ;
-    std::deque<Beat> _writeQ;
+    BeatQueue _readQ;
+    BeatQueue _writeQ;
+    std::size_t _drainHi = 0; ///< precomputed write-drain watermark
     bool _draining = false;
     bool _serviceScheduled = false;
 

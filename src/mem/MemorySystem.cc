@@ -67,25 +67,33 @@ MemorySystem::access(const MemRequestPtr &req)
         Tick lastDone = 0;
         MemRequest::Completion cb;
     };
-    auto join = std::make_shared<Join>();
-    join->cb = req->onDone;
+    // The original request is replaced by the parts; steal its
+    // completion (move — Completion is move-only and inline).
+    auto join = std::allocate_shared<Join>(PoolAlloc<Join>{});
+    join->cb = std::move(req->onDone);
 
-    Addr cursor = req->addr;
     Addr end = req->addr + req->size;
-    std::vector<MemRequestPtr> parts;
-    while (cursor < end) {
+    // Two passes so the join count is final before any part is
+    // routed, without buffering the parts in a heap-allocated vector:
+    // first count the route extents, then create and route each part.
+    auto partEnd = [&](Addr cursor) {
         ChannelRoute r = _map.route(cursor);
         // Extent of this route: up to the next stripe boundary for
         // conventional memory; NetDIMM regions are contiguous.
-        Addr part_end;
         if (r.isNetDimm) {
-            part_end = std::min<Addr>(
-                end, _map.netDimmBase(r.netDimmIndex) +
-                         _map.netDimmSize(r.netDimmIndex));
-        } else {
-            Addr stripe = 256;
-            part_end = std::min<Addr>(end, (cursor / stripe + 1) * stripe);
+            return std::min<Addr>(end,
+                                  _map.netDimmBase(r.netDimmIndex) +
+                                      _map.netDimmSize(r.netDimmIndex));
         }
+        Addr stripe = 256;
+        return std::min<Addr>(end, (cursor / stripe + 1) * stripe);
+    };
+    std::uint32_t nparts = 0;
+    for (Addr cursor = req->addr; cursor < end; cursor = partEnd(cursor))
+        ++nparts;
+    join->left = nparts;
+    for (Addr cursor = req->addr; cursor < end;) {
+        Addr part_end = partEnd(cursor);
         auto part = makeMemRequest(
             cursor, std::uint32_t(part_end - cursor), req->write,
             req->source, [join](Tick done) {
@@ -93,12 +101,9 @@ MemorySystem::access(const MemRequestPtr &req)
                 if (--join->left == 0 && join->cb)
                     join->cb(join->lastDone);
             });
-        parts.push_back(std::move(part));
+        routeOne(part);
         cursor = part_end;
     }
-    join->left = std::uint32_t(parts.size());
-    for (auto &p : parts)
-        routeOne(p);
 }
 
 double

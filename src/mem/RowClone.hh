@@ -20,9 +20,8 @@
 #ifndef NETDIMM_MEM_ROWCLONE_HH
 #define NETDIMM_MEM_ROWCLONE_HH
 
-#include <functional>
-
 #include "mem/MemoryController.hh"
+#include "sim/InlineFunction.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
 #include "sim/SystemConfig.hh"
@@ -47,7 +46,8 @@ const char *cloneModeName(CloneMode m);
 class RowCloneEngine : public SimObject
 {
   public:
-    using Completion = std::function<void(Tick, CloneMode)>;
+    /** Inline per-clone completion (hot on the NetDIMM rx path). */
+    using Completion = InlineFunction<void(Tick, CloneMode), 80>;
 
     RowCloneEngine(EventQueue &eq, std::string name,
                    MemoryController &local_mc,

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "mem/MemRequest.hh"
+#include "sim/Pool.hh"
 #include "sim/SystemConfig.hh"
 #include "sim/Ticks.hh"
 
@@ -137,12 +138,17 @@ struct Packet
 
 using PacketPtr = std::shared_ptr<Packet>;
 
+/**
+ * Pool-aware factory: the packet and its shared_ptr control block
+ * live in one free-list-recycled allocation (see sim/Pool.hh), so
+ * steady-state packet churn does not touch the heap.
+ */
 inline PacketPtr
 makePacket(std::uint32_t bytes, std::uint32_t src = 0,
            std::uint32_t dst = 1)
 {
     static std::uint64_t nextId = 1;
-    auto p = std::make_shared<Packet>();
+    auto p = std::allocate_shared<Packet>(PoolAlloc<Packet>{});
     p->id = nextId++;
     p->bytes = bytes;
     p->srcNode = src;

@@ -120,11 +120,10 @@ NetDimmDevice::mediaRead(const MemRequestPtr &req,
                           [done = std::move(done), ready] { done(ready); });
         return;
     }
+    // The completion rides the media request directly (a Completion
+    // cannot nest inside another inline Completion's capture).
     auto media = makeMemRequest(first_miss, missing * cachelineBytes,
-                                false, req->source,
-                                [done = std::move(done)](Tick t) {
-                                    done(t);
-                                });
+                                false, req->source, std::move(done));
     eventq().scheduleRel(ctrl, [this, media] { _localMc->access(media); });
 }
 

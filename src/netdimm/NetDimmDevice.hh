@@ -44,7 +44,8 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
   public:
     using RxNotify = std::function<void(const PacketPtr &, Tick)>;
     using TxNotify = std::function<void(const PacketPtr &, Tick)>;
-    using CloneDone = std::function<void(Tick, CloneMode)>;
+    /** Same inline per-clone callback type as RowCloneEngine. */
+    using CloneDone = RowCloneEngine::Completion;
 
     NetDimmDevice(EventQueue &eq, std::string name,
                   const SystemConfig &cfg,

@@ -26,7 +26,7 @@ DiscreteNic::transmit(const PacketPtr &pkt)
         Tick descFetched = 0;   ///< TX descriptor in the NIC
         Addr descAddr = 0;
     };
-    auto ctx = std::make_shared<Ctx>();
+    auto ctx = std::allocate_shared<Ctx>(PoolAlloc<Ctx>{});
     ctx->descAddr = _txRing.descAddr(_txRing.tail());
 
     // Stage 0 -- T1: the driver checks the NIC status register, a

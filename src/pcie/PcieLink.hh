@@ -18,8 +18,7 @@
 #ifndef NETDIMM_PCIE_PCIELINK_HH
 #define NETDIMM_PCIE_PCIELINK_HH
 
-#include <functional>
-
+#include "sim/InlineFunction.hh"
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
 #include "sim/SystemConfig.hh"
@@ -37,7 +36,8 @@ enum class PcieDir
 class PcieLink : public SimObject
 {
   public:
-    using Completion = std::function<void(Tick)>;
+    /** Per-TLP completion; inline storage, no heap (hot path). */
+    using Completion = InlineFunction<void(Tick), 80>;
 
     PcieLink(EventQueue &eq, std::string name, const PcieConfig &cfg);
 

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A move-only, small-buffer callable with NO heap fallback.
+ *
+ * std::function heap-allocates any capture larger than two pointers,
+ * which puts one malloc/free pair on every simulator event and every
+ * memory-request completion. InlineFunction stores the callable in a
+ * fixed inline buffer instead; a capture that does not fit is a
+ * compile error (static_assert), never a silent heap allocation, so
+ * the event hot path provably does not allocate.
+ *
+ * The buffer size is a template parameter so each subsystem can be
+ * sized for its largest capture (see EventQueue::Callback and
+ * MemRequest::Completion).
+ */
+
+#ifndef NETDIMM_SIM_INLINEFUNCTION_HH
+#define NETDIMM_SIM_INLINEFUNCTION_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace netdimm
+{
+
+template <typename Sig, std::size_t Bytes>
+class InlineFunction; // undefined; only the R(Args...) partial below
+
+template <typename R, typename... Args, std::size_t Bytes>
+class InlineFunction<R(Args...), Bytes>
+{
+  public:
+    /** Inline capture capacity in bytes. */
+    static constexpr std::size_t capacity = Bytes;
+
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &,
+                                        Args...>>>
+    InlineFunction(F &&f)
+    {
+        emplace(std::forward<F>(f));
+    }
+
+    /**
+     * Destroy the current callable (if any) and construct @p f in
+     * place: one construction instead of construct-then-move when
+     * filling a recycled slot.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F> &,
+                                        Args...>>>
+    void
+    emplace(F &&f)
+    {
+        reset();
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= Bytes,
+                      "lambda capture exceeds the inline callback "
+                      "storage: shrink the capture (move shared "
+                      "state behind one pointer) or raise the Bytes "
+                      "parameter of this InlineFunction alias");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned capture not supported");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "captures must be nothrow-movable so slot "
+                      "relocation cannot throw");
+        ::new (static_cast<void *>(_storage))
+            Fn(std::forward<F>(f));
+        _invoke = [](void *s, Args... args) -> R {
+            return (*static_cast<Fn *>(s))(
+                std::forward<Args>(args)...);
+        };
+        _manage = [](void *src, void *dst) {
+            Fn *from = static_cast<Fn *>(src);
+            if (dst != nullptr)
+                ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        };
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept
+        : _invoke(o._invoke), _manage(o._manage)
+    {
+        if (_manage)
+            _manage(o._storage, _storage);
+        o._invoke = nullptr;
+        o._manage = nullptr;
+    }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            _invoke = o._invoke;
+            _manage = o._manage;
+            if (_manage)
+                _manage(o._storage, _storage);
+            o._invoke = nullptr;
+            o._manage = nullptr;
+        }
+        return *this;
+    }
+
+    InlineFunction &
+    operator=(std::nullptr_t) noexcept
+    {
+        reset();
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    /**
+     * Invoke the held callable. Const like std::function's call
+     * operator (captures are logically owned by the caller);
+     * invoking an empty InlineFunction is undefined — guard with
+     * operator bool where emptiness is possible.
+     */
+    R
+    operator()(Args... args) const
+    {
+        return _invoke(_storage, std::forward<Args>(args)...);
+    }
+
+    explicit operator bool() const noexcept
+    {
+        return _invoke != nullptr;
+    }
+
+    /** Destroy the held callable (releases its captures). */
+    void
+    reset() noexcept
+    {
+        if (_manage)
+            _manage(_storage, nullptr);
+        _invoke = nullptr;
+        _manage = nullptr;
+    }
+
+  private:
+    using Invoke = R (*)(void *, Args...);
+    /** dst != nullptr: move-construct into dst then destroy src;
+     *  dst == nullptr: destroy src. */
+    using Manage = void (*)(void *src, void *dst);
+
+    alignas(std::max_align_t) mutable unsigned char _storage[Bytes];
+    Invoke _invoke = nullptr;
+    Manage _manage = nullptr;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_SIM_INLINEFUNCTION_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Free-list object recycling for the per-packet / per-request
+ * factories.
+ *
+ * makePacket()/makeMemRequest() run once per packet and once per
+ * memory transaction; at datacenter replay scale that is millions of
+ * make_shared heap allocations. PoolAlloc is a stateless allocator
+ * whose blocks come from a per-type free list: std::allocate_shared
+ * with it places the object and its control block in ONE pooled
+ * allocation, and the block returns to the free list when the last
+ * reference dies, so steady-state packet churn touches the heap only
+ * while a pool is still growing to its high-water mark.
+ *
+ * Pools are process-lifetime singletons (the simulation is
+ * single-threaded; none of this is thread safe). drainObjectPools()
+ * releases the cached blocks back to the heap — call it at sim
+ * teardown (benches do, between campaigns) or whenever a peak
+ * workload has passed; objectPoolTotals() exposes the counters the
+ * no-steady-state-allocation tests assert on.
+ */
+
+#ifndef NETDIMM_SIM_POOL_HH
+#define NETDIMM_SIM_POOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace netdimm
+{
+
+/** Aggregate counters across all object pools. */
+struct PoolStats
+{
+    /** Blocks obtained from the heap (pool growth). */
+    std::uint64_t heapAllocs = 0;
+    /** Blocks served from the free list (recycled). */
+    std::uint64_t reuses = 0;
+    /** Blocks currently out with live objects. */
+    std::uint64_t outstanding = 0;
+    /** Blocks parked on free lists right now. */
+    std::uint64_t cached = 0;
+};
+
+/** A single fixed-block-size free list. */
+class FreeListPool
+{
+  public:
+    FreeListPool(std::size_t blockSize, std::size_t align)
+        : _blockSize(blockSize < sizeof(Node) ? sizeof(Node)
+                                              : blockSize),
+          _align(align)
+    {
+        registry().push_back(this);
+    }
+
+    // Process-lifetime singleton: drains its cached blocks at exit.
+    // Never unregisters (the registry outlives every use inside
+    // main(); nothing walks it during static destruction).
+    ~FreeListPool() { drain(); }
+
+    FreeListPool(const FreeListPool &) = delete;
+    FreeListPool &operator=(const FreeListPool &) = delete;
+
+    void *
+    get()
+    {
+        if (_free != nullptr) {
+            Node *n = _free;
+            _free = n->next;
+            ++_reuses;
+            --_cached;
+            ++_outstanding;
+            return n;
+        }
+        ++_heapAllocs;
+        ++_outstanding;
+        if (_align > alignof(std::max_align_t))
+            return ::operator new(_blockSize,
+                                  std::align_val_t(_align));
+        return ::operator new(_blockSize);
+    }
+
+    void
+    put(void *p) noexcept
+    {
+        Node *n = static_cast<Node *>(p);
+        n->next = _free;
+        _free = n;
+        ++_cached;
+        --_outstanding;
+    }
+
+    /** Return every cached block to the heap. */
+    void
+    drain() noexcept
+    {
+        while (_free != nullptr) {
+            Node *n = _free;
+            _free = n->next;
+            --_cached;
+            if (_align > alignof(std::max_align_t))
+                ::operator delete(n, std::align_val_t(_align));
+            else
+                ::operator delete(n);
+        }
+    }
+
+    std::uint64_t heapAllocs() const { return _heapAllocs; }
+    std::uint64_t reuses() const { return _reuses; }
+    std::uint64_t outstanding() const { return _outstanding; }
+    std::uint64_t cached() const { return _cached; }
+
+    /** All pools ever constructed in this process. */
+    static std::vector<FreeListPool *> &
+    registry()
+    {
+        static std::vector<FreeListPool *> pools;
+        return pools;
+    }
+
+  private:
+    struct Node
+    {
+        Node *next;
+    };
+
+    Node *_free = nullptr;
+    const std::size_t _blockSize;
+    const std::size_t _align;
+    std::uint64_t _heapAllocs = 0;
+    std::uint64_t _reuses = 0;
+    std::uint64_t _outstanding = 0;
+    std::uint64_t _cached = 0;
+};
+
+/** The process-wide pool serving blocks of type @p T. */
+template <typename T>
+inline FreeListPool &
+poolFor()
+{
+    static FreeListPool pool(sizeof(T), alignof(T));
+    return pool;
+}
+
+/** Release all cached free-list blocks (sim teardown). */
+inline void
+drainObjectPools() noexcept
+{
+    for (FreeListPool *p : FreeListPool::registry())
+        p->drain();
+}
+
+/** Aggregate counters over every pool in the process. */
+inline PoolStats
+objectPoolTotals() noexcept
+{
+    PoolStats s;
+    for (const FreeListPool *p : FreeListPool::registry()) {
+        s.heapAllocs += p->heapAllocs();
+        s.reuses += p->reuses();
+        s.outstanding += p->outstanding();
+        s.cached += p->cached();
+    }
+    return s;
+}
+
+/**
+ * Stateless allocator over poolFor<T>(). With std::allocate_shared
+ * this pools the combined object+control-block allocation; single
+ * objects recycle through the free list, array allocations (never
+ * used by allocate_shared) fall through to the heap.
+ */
+template <typename T>
+struct PoolAlloc
+{
+    using value_type = T;
+
+    PoolAlloc() noexcept = default;
+    template <typename U>
+    PoolAlloc(const PoolAlloc<U> &) noexcept
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (n == 1)
+            return static_cast<T *>(poolFor<T>().get());
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        if (n == 1)
+            poolFor<T>().put(p);
+        else
+            ::operator delete(p);
+    }
+
+    template <typename U>
+    bool
+    operator==(const PoolAlloc<U> &) const noexcept
+    {
+        return true;
+    }
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_SIM_POOL_HH

@@ -131,6 +131,82 @@ TEST(EventQueue, StepExecutesExactlyOne)
     EXPECT_FALSE(eq.step());
 }
 
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot)
+{
+    EventQueue eq;
+    bool first = false, second = false;
+    auto h1 = eq.schedule(10, [&] { first = true; });
+    eq.deschedule(h1); // frees the slot, bumps its generation
+    auto h2 = eq.schedule(20, [&] { second = true; });
+    // The free list is LIFO, so the new event reuses the same slot
+    // index under a new generation; the stale handle must not be
+    // able to cancel the slot's new tenant.
+    EXPECT_EQ(std::uint32_t(h1), std::uint32_t(h2));
+    EXPECT_NE(h1, h2);
+    eq.deschedule(h1);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    eq.run();
+    EXPECT_FALSE(first);
+    EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, SameTickOrderSurvivesHeavyDeschedule)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<std::uint64_t> doomed;
+    // Interleave keepers and victims at one tick, then cancel every
+    // victim: the keepers must still run in insertion order even
+    // though the heap is full of dead entries between them.
+    for (int i = 0; i < 64; ++i) {
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+        doomed.push_back(
+            eq.schedule(5, [&order] { order.push_back(-1); }));
+    }
+    for (auto h : doomed)
+        eq.deschedule(h);
+    EXPECT_EQ(eq.pendingEvents(), 64u);
+    eq.run();
+    ASSERT_EQ(order.size(), 64u);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, DestructionDrainsPendingCaptures)
+{
+    // Captures owning resources are destroyed with the queue even if
+    // their events never ran (the sanitizer build would flag the
+    // shared_ptr as leaked otherwise).
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> watch = token;
+    {
+        EventQueue eq;
+        eq.schedule(10, [token] { (void)*token; });
+        eq.schedule(20, [token] { (void)*token; });
+        token.reset();
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
+}
+
+TEST(EventQueue, SteadyStateSchedulingDoesNotGrowSlabs)
+{
+    EventQueue eq;
+    // Warm the slot pool to its high-water occupancy.
+    for (int i = 0; i < 1000; ++i)
+        eq.scheduleRel(Tick(i + 1), [] {});
+    eq.run();
+    std::uint64_t slabs = eq.slabAllocations();
+    EXPECT_GE(eq.slotCapacity(), 1000u);
+    // Steady state: the same occupancy recycles slots, never grows.
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleRel(Tick(i + 1), [] {});
+        eq.run();
+    }
+    EXPECT_EQ(eq.slabAllocations(), slabs);
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue eq;

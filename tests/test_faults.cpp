@@ -218,6 +218,20 @@ TEST(EventQueueHealth, UnregisteredProbeIsIgnored)
     EXPECT_EQ(eq.deadlocksDetected(), 0u);
 }
 
+TEST(EventQueueHealth, HeartbeatAfterUnregisterIsIgnored)
+{
+    EventQueue eq;
+    std::size_t id = eq.registerHealthProbe("gone", [] { return 0u; });
+    eq.schedule(50, [&] {
+        eq.unregisterHealthProbe(id);
+        eq.heartbeat(id);       // stale owner still beating: ignored
+        eq.heartbeat(id + 100); // out-of-range id: ignored
+    });
+    eq.run();
+    EXPECT_EQ(eq.lastHeartbeat(id), 0u);
+    EXPECT_EQ(eq.lastHeartbeat(id + 100), 0u);
+}
+
 TEST(EventQueueHealth, TickLimitStopsRunawaySimulation)
 {
     QuietScope q;

@@ -39,7 +39,10 @@ class FakeNvdimm : public NvdimmPDevice
         if (it != perAddr.end())
             lat = it->second;
         Tick ready = eventq().curTick() + lat;
-        eventq().schedule(ready, [done, ready] { done(ready); });
+        eventq().schedule(ready,
+                          [done = std::move(done), ready] {
+                              done(ready);
+                          });
     }
 
     Tick idealMediaLatency() const override { return fixedLatency; }
