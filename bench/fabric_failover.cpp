@@ -25,13 +25,18 @@
  * report, an aborted stream, or an incomplete drain.
  *
  * `--short` runs a reduced sweep for CI smoke.
+ *
+ * Cells are independent simulations, so the grid runs on a
+ * SweepRunner thread pool (`--jobs N`, default: hardware
+ * concurrency); results are printed in grid order afterwards, so the
+ * table is byte-identical regardless of the job count.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "harness/SweepRunner.hh"
 #include "net/Topology.hh"
 #include "workload/IperfFlow.hh"
 
@@ -41,7 +46,6 @@ namespace
 {
 
 constexpr std::uint64_t kSeed = 7;
-double windowUs = 2000.0;
 
 struct Cell
 {
@@ -91,7 +95,7 @@ checkBisection(LeafSpineTopology &topo, const EthConfig &eth,
 }
 
 Result
-runCell(const Cell &c, bool with_registry)
+runCell(const Cell &c, bool with_registry, double windowUs)
 {
     SystemConfig sys;
     sys.nic = NicKind::NetDimm;
@@ -204,12 +208,9 @@ runCell(const Cell &c, bool with_registry)
 int
 main(int argc, char **argv)
 {
-    bool short_mode = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--short") == 0)
-            short_mode = true;
-    if (short_mode)
-        windowUs = 600.0;
+    SweepCli cli = parseSweepCli(argc, argv);
+    const bool short_mode = cli.shortMode;
+    const double windowUs = short_mode ? 600.0 : 2000.0;
 
     setQuiet(true);
 
@@ -222,9 +223,64 @@ main(int argc, char **argv)
                 "reten", "latency", "retx", "rto", "lnkDrop",
                 "noPath", "down", "inj/rec", "ledger", "unrec");
 
+    // Grid in print order: the registry-free baseline, the zero-flap
+    // determinism check, the flap sweep, then graceful degradation.
+    struct Spec
+    {
+        Cell cell;
+        bool withRegistry;
+    };
     Cell base_cell;
-    Result base = runCell(base_cell, /*with_registry=*/false);
+    std::vector<Spec> grid = {{base_cell, false}, {base_cell, true}};
 
+    std::vector<std::uint32_t> spine_counts = {2, 4};
+    std::vector<std::uint32_t> flap_counts = {1, 4};
+    std::vector<double> durations = {20.0, 100.0};
+    std::vector<std::uint32_t> losses = {1, 2, 3};
+    if (short_mode) {
+        spine_counts = {2};
+        flap_counts = {2};
+        durations = {20.0};
+        losses = {1};
+    }
+
+    for (std::uint32_t spines : spine_counts) {
+        for (std::uint32_t flaps : flap_counts) {
+            for (double dur : durations) {
+                Cell c;
+                c.spines = spines;
+                c.flapsPerLink = flaps;
+                c.flapDurUs = dur;
+                grid.push_back({c, true});
+            }
+        }
+    }
+    for (std::uint32_t lost : losses) {
+        Cell c;
+        c.spines = short_mode ? 2 : 4;
+        c.spinesLost = lost;
+        grid.push_back({c, true});
+    }
+
+    std::vector<SweepCell<Result>> cells;
+    cells.reserve(grid.size());
+    for (const Spec &s : grid) {
+        char label[96];
+        std::snprintf(label, sizeof(label),
+                      "spines=%u flaps=%u dur=%.0f lost=%u%s",
+                      s.cell.spines, s.cell.flapsPerLink,
+                      s.cell.flapDurUs, s.cell.spinesLost,
+                      s.withRegistry ? "" : " (baseline)");
+        cells.push_back({label, [&s, windowUs] {
+                             return runCell(s.cell, s.withRegistry,
+                                            windowUs);
+                         }});
+    }
+
+    SweepRunner runner(cli.jobs);
+    std::vector<Result> results = runner.run(std::move(cells));
+
+    const Result &base = results[0];
     bool all_ok = true;
     auto row = [&](const Cell &c, const Result &r) {
         double reten = base.goodputGbps > 0.0
@@ -254,7 +310,7 @@ main(int argc, char **argv)
     // Zero-flap row with the registry attached: must be bit-identical
     // to the baseline, or the failover machinery perturbs fault-free
     // runs.
-    Result zero = runCell(base_cell, /*with_registry=*/true);
+    const Result &zero = results[1];
     row(base_cell, zero);
     if (zero.delivered != base.delivered ||
         zero.endTick != base.endTick ||
@@ -268,37 +324,10 @@ main(int argc, char **argv)
         all_ok = false;
     }
 
-    // Flap sweep: flap count x down duration x spine width.
-    std::vector<std::uint32_t> spine_counts = {2, 4};
-    std::vector<std::uint32_t> flap_counts = {1, 4};
-    std::vector<double> durations = {20.0, 100.0};
-    std::vector<std::uint32_t> losses = {1, 2, 3};
-    if (short_mode) {
-        spine_counts = {2};
-        flap_counts = {2};
-        durations = {20.0};
-        losses = {1};
-    }
-
-    for (std::uint32_t spines : spine_counts) {
-        for (std::uint32_t flaps : flap_counts) {
-            for (double dur : durations) {
-                Cell c;
-                c.spines = spines;
-                c.flapsPerLink = flaps;
-                c.flapDurUs = dur;
-                row(c, runCell(c, /*with_registry=*/true));
-            }
-        }
-    }
-
-    // Graceful degradation: goodput vs fraction of spines lost.
-    for (std::uint32_t lost : losses) {
-        Cell c;
-        c.spines = short_mode ? 2 : 4;
-        c.spinesLost = lost;
-        row(c, runCell(c, /*with_registry=*/true));
-    }
+    // Flap sweep + graceful degradation rows, already computed in
+    // grid order.
+    for (std::size_t i = 2; i < grid.size(); ++i)
+        row(grid[i].cell, results[i]);
 
     std::printf("\n%s\n",
                 all_ok ? "All cells closed their fault ledger with a "

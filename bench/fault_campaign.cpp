@@ -23,15 +23,20 @@
  * probability at 0 the run must reproduce the fault-free baseline
  * exactly (the framework consumes no randomness that perturbs
  * timing).
+ *
+ * Cells are independent simulations, so the grid runs on a
+ * SweepRunner thread pool (`--jobs N`, default: hardware
+ * concurrency); results are collected and printed in grid order, so
+ * the table is byte-identical regardless of the job count.
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "harness/SweepRunner.hh"
 #include "net/Link.hh"
 #include "transport/FaultInjector.hh"
 #include "workload/IperfFlow.hh"
@@ -41,7 +46,6 @@ using namespace netdimm;
 namespace
 {
 
-double windowUs = 2000.0; // --short shrinks the window
 constexpr std::uint64_t kSeed = 7;
 
 struct Result
@@ -58,7 +62,7 @@ struct Result
 };
 
 Result
-runOne(const std::string &cls, double rate)
+runOne(const std::string &cls, double rate, double windowUs)
 {
     SystemConfig sys;
     sys.nic = NicKind::NetDimm;
@@ -155,12 +159,8 @@ runOne(const std::string &cls, double rate)
 int
 main(int argc, char **argv)
 {
-    bool short_mode = false;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--short") == 0)
-            short_mode = true;
-    if (short_mode)
-        windowUs = 800.0;
+    SweepCli cli = parseSweepCli(argc, argv);
+    const double windowUs = cli.shortMode ? 800.0 : 2000.0;
 
     setQuiet(true);
 
@@ -168,7 +168,43 @@ main(int argc, char **argv)
                 "NetDIMM nodes, %.0f us window, seed %llu ===\n\n",
                 windowUs, static_cast<unsigned long long>(kSeed));
 
-    Result base = runOne("baseline", 0.0);
+    // The whole grid, in print order. Index 0 is the fault-free
+    // baseline every retention figure is computed against; index 1 is
+    // the zero-rate determinism check.
+    struct Spec
+    {
+        std::string cls;
+        double rate;
+    };
+    std::vector<Spec> grid = {{"baseline", 0.0}, {"zero", 0.0}};
+    std::vector<double> rates = {0.001, 0.01};
+    if (cli.shortMode)
+        rates = {0.01};
+    for (const std::string &cls :
+         {std::string("link"), std::string("ecc"),
+          std::string("device"), std::string("rowclone")}) {
+        for (double rate : rates)
+            grid.push_back({cls, rate});
+    }
+
+    std::vector<SweepCell<Result>> cells;
+    cells.reserve(grid.size());
+    for (const Spec &s : grid) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%s rate=%.3f",
+                      s.cls.c_str(), s.rate);
+        // Per the cell isolation contract the factory captures only
+        // its own spec (by const ref into the immutable grid) and the
+        // shared window constant.
+        cells.push_back({label, [&s, windowUs] {
+                             return runOne(s.cls, s.rate, windowUs);
+                         }});
+    }
+
+    SweepRunner runner(cli.jobs);
+    std::vector<Result> results = runner.run(std::move(cells));
+
+    const Result &base = results[0];
 
     std::printf("%9s %8s %9s %7s %9s %9s %6s %6s %8s %8s %6s\n",
                 "class", "rate", "goodput", "reten", "latency",
@@ -195,7 +231,7 @@ main(int argc, char **argv)
 
     row("baseline", 0.0, base);
 
-    Result zero = runOne("zero", 0.0);
+    const Result &zero = results[1];
     row("zero", 0.0, zero);
     if (zero.goodputGbps != base.goodputGbps)
         std::printf("  WARNING: zero-rate run diverged from baseline "
@@ -204,18 +240,10 @@ main(int argc, char **argv)
                     zero.goodputGbps, base.goodputGbps);
 
     bool all_recovered = true;
-    std::vector<double> rates = {0.001, 0.01};
-    if (short_mode)
-        rates = {0.01};
-    for (const std::string &cls :
-         {std::string("link"), std::string("ecc"),
-          std::string("device"), std::string("rowclone")}) {
-        for (double rate : rates) {
-            Result r = runOne(cls, rate);
-            row(cls, rate, r);
-            if (r.unrecovered != 0)
-                all_recovered = false;
-        }
+    for (std::size_t i = 2; i < grid.size(); ++i) {
+        row(grid[i].cls, grid[i].rate, results[i]);
+        if (results[i].unrecovered != 0)
+            all_recovered = false;
     }
 
     std::printf("\n%s\n",

@@ -9,15 +9,22 @@
  * 40.6/36.0/33.1/25.3% on average for the four switch latencies, and
  * iNIC by 8.1~15.3%; webserver benefits most (small, intra-DC
  * packets), hadoop least (bimodal sizes, local traffic).
+ *
+ * Each cluster's trace is synthesized ONCE and shared read-only by
+ * every cell (cluster x switch latency x NIC kind); the 36-cell grid
+ * runs on a SweepRunner thread pool (`--jobs N`, default: hardware
+ * concurrency) and prints in grid order, so output is byte-identical
+ * regardless of the job count.
  */
 
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <vector>
 
+#include "harness/SweepRunner.hh"
 #include "net/Switch.hh"
 #include "transport/TransportHost.hh"
+#include "workload/TraceFile.hh"
 #include "workload/TraceGen.hh"
 #include "kernel/Node.hh"
 
@@ -27,8 +34,8 @@ namespace
 {
 
 double
-replayMeanLatencyUs(ClusterType cluster, NicKind kind,
-                    double switch_ns, int npackets)
+replayMeanLatencyUs(const std::vector<TraceRecord> &trace,
+                    NicKind kind, double switch_ns)
 {
     SystemConfig cfg;
     cfg.nic = kind;
@@ -57,6 +64,7 @@ replayMeanLatencyUs(ClusterType cluster, NicKind kind,
         fabric.forward(pkt, TrafficLocality::IntraCluster);
     });
 
+    const int npackets = int(trace.size());
     double sum_us = 0.0;
     int measured = 0;
     int seen = 0;
@@ -68,13 +76,13 @@ replayMeanLatencyUs(ClusterType cluster, NicKind kind,
         }
     });
 
-    // Replay the synthesized arrivals; ~5 Gbps offered so endpoint
-    // queues stay shallow (the paper replays a single node's trace,
-    // not a saturating stream). Eight flows spread RX contexts.
-    TraceGen gen(cluster, 5.0, 12345);
+    // Replay the pre-synthesized arrivals; ~5 Gbps offered so
+    // endpoint queues stay shallow (the paper replays a single node's
+    // trace, not a saturating stream). Eight flows spread RX
+    // contexts.
     Tick t = 0;
     for (int i = 0; i < npackets; ++i) {
-        TraceRecord rec = gen.next();
+        const TraceRecord &rec = trace[std::size_t(i)];
         t += rec.interArrival;
         eq.schedule(t, [&tx, &rx, &locality, rec, i] {
             PacketPtr pkt = tx.makeTxPacket(rec.bytes, rx.id(),
@@ -96,8 +104,8 @@ replayMeanLatencyUs(ClusterType cluster, NicKind kind,
  * records.
  */
 double
-replayReliableMeanLatencyUs(ClusterType cluster, NicKind kind,
-                            double switch_ns, int npackets)
+replayReliableMeanLatencyUs(const std::vector<TraceRecord> &trace,
+                            NicKind kind, double switch_ns)
 {
     SystemConfig cfg;
     cfg.nic = kind;
@@ -116,6 +124,7 @@ replayReliableMeanLatencyUs(ClusterType cluster, NicKind kind,
     TransportHost txHost(eq, "txhost", tx);
     TransportHost rxHost(eq, "rxhost", rx);
 
+    const int npackets = int(trace.size());
     double sum_us = 0.0;
     int measured = 0;
     int seen = 0;
@@ -135,10 +144,9 @@ replayReliableMeanLatencyUs(ClusterType cluster, NicKind kind,
         flows.push_back(std::move(flow));
     }
 
-    TraceGen gen(cluster, 5.0, 12345);
     Tick t = 0;
     for (int i = 0; i < npackets; ++i) {
-        TraceRecord rec = gen.next();
+        const TraceRecord &rec = trace[std::size_t(i)];
         t += rec.interArrival;
         TransportFlow *f = flows[std::size_t(i % 8)].get();
         eq.schedule(t, [f, rec] { f->send(rec.bytes); });
@@ -157,9 +165,10 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
+    SweepCli cli = parseSweepCli(argc, argv);
     bool reliable = false;
-    for (int a = 1; a < argc; ++a)
-        if (std::strcmp(argv[a], "--reliable") == 0)
+    for (const std::string &a : cli.rest)
+        if (a == "--reliable")
             reliable = true;
     auto replay = reliable ? replayReliableMeanLatencyUs
                            : replayMeanLatencyUs;
@@ -168,27 +177,58 @@ main(int argc, char **argv)
     const std::vector<ClusterType> clusters = {ClusterType::Database,
                                                ClusterType::Webserver,
                                                ClusterType::Hadoop};
+    const std::vector<NicKind> kinds = {
+        NicKind::Discrete, NicKind::Integrated, NicKind::NetDimm};
 
     std::printf("=== Fig. 12(a): per-packet latency, Facebook trace "
                 "replay over clos fabric (%s) ===\n",
                 reliable ? "reliable transport" : "raw frames");
 
+    // Shared immutable inputs: one synthesized trace per cluster,
+    // identical to what each cell used to generate privately (same
+    // generator, same seed), read by every cell via const ref.
+    std::vector<std::vector<TraceRecord>> traces;
+    traces.reserve(clusters.size());
+    for (ClusterType c : clusters) {
+        TraceGen gen(c, 5.0, 12345);
+        traces.push_back(TraceFile::synthesize(gen, npackets));
+    }
+
+    // Grid order: cluster-major, then switch latency, then NIC kind.
+    std::vector<SweepCell<double>> cells;
+    cells.reserve(clusters.size() * switch_ns.size() * kinds.size());
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+        for (double ns : switch_ns) {
+            for (NicKind kind : kinds) {
+                char label[64];
+                std::snprintf(label, sizeof(label), "%s %.0fns %s",
+                              clusterName(clusters[c]), ns,
+                              nicKindName(kind));
+                const std::vector<TraceRecord> &trace = traces[c];
+                cells.push_back({label, [=, &trace] {
+                                     return replay(trace, kind, ns);
+                                 }});
+            }
+        }
+    }
+
+    SweepRunner runner(cli.jobs);
+    std::vector<double> results = runner.run(std::move(cells));
+
     // normalized[cluster][switch] for the two baselines.
     double avg_vs_dnic[4] = {0, 0, 0, 0};
     double avg_vs_inic[4] = {0, 0, 0, 0};
 
+    std::size_t at = 0;
     for (ClusterType c : clusters) {
         std::printf("\n-- %s cluster --\n", clusterName(c));
         std::printf("%12s %10s %10s %10s %12s %12s\n", "switch(ns)",
                     "dNIC(us)", "iNIC(us)", "NetDIMM", "vs dNIC",
                     "vs iNIC");
         for (std::size_t s = 0; s < switch_ns.size(); ++s) {
-            double d = replay(c, NicKind::Discrete, switch_ns[s],
-                              npackets);
-            double i = replay(c, NicKind::Integrated, switch_ns[s],
-                              npackets);
-            double n = replay(c, NicKind::NetDimm, switch_ns[s],
-                              npackets);
+            double d = results[at++];
+            double i = results[at++];
+            double n = results[at++];
             double gd = 100.0 * (1.0 - n / d);
             double gi = 100.0 * (1.0 - n / i);
             avg_vs_dnic[s] += gd / double(clusters.size());

@@ -6,11 +6,17 @@
  * sits -- NetDIMM keeps its advantage until the wire saturates
  * because its per-packet CPU work is smaller (the clone offloads the
  * copy), while the dNIC's RX cores saturate first.
+ *
+ * Each (kind, load) point is an independent simulation, so the grid
+ * runs on a SweepRunner thread pool (`--jobs N`, default: hardware
+ * concurrency); results print in grid order, byte-identical
+ * regardless of the job count.
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "harness/SweepRunner.hh"
 #include "net/Link.hh"
 #include "kernel/Node.hh"
 #include "workload/TraceGen.hh"
@@ -81,21 +87,42 @@ runLoad(NicKind kind, double offered_gbps, int npackets)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuiet(true);
+    SweepCli cli = parseSweepCli(argc, argv);
     const int npackets = 2000;
     const std::vector<double> loads = {2, 8, 16, 24, 32, 36};
+    const std::vector<NicKind> kinds = {
+        NicKind::Discrete, NicKind::Integrated, NicKind::NetDimm};
 
     std::printf("=== Extension: latency vs offered load (1460B, 8 "
                 "flows) ===\n");
-    for (NicKind kind : {NicKind::Discrete, NicKind::Integrated,
-                         NicKind::NetDimm}) {
+
+    // Grid order: NIC kind major, offered load minor.
+    std::vector<SweepCell<LoadPoint>> cells;
+    cells.reserve(kinds.size() * loads.size());
+    for (NicKind kind : kinds) {
+        for (double g : loads) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s %.0fGbps",
+                          nicKindName(kind), g);
+            cells.push_back({label, [kind, g, npackets] {
+                                 return runLoad(kind, g, npackets);
+                             }});
+        }
+    }
+
+    SweepRunner runner(cli.jobs);
+    std::vector<LoadPoint> results = runner.run(std::move(cells));
+
+    std::size_t at = 0;
+    for (NicKind kind : kinds) {
         std::printf("\n-- %s --\n", nicKindName(kind));
         std::printf("%12s %10s %10s %14s\n", "offered(Gbps)",
                     "mean(us)", "p99(us)", "delivered(Gbps)");
         for (double g : loads) {
-            LoadPoint p = runLoad(kind, g, npackets);
+            const LoadPoint &p = results[at++];
             std::printf("%12.0f %10.3f %10.3f %14.2f\n", g, p.meanUs,
                         p.p99Us, p.deliveredGbps);
         }

@@ -15,6 +15,13 @@
  *    isolating scheduler + cancellation cost from the device models.
  *  - pool:   Packet/MemRequest factory churn, isolating the object
  *    allocation path.
+ *  - campaign: a fault-campaign-style grid of independent simulation
+ *    cells run twice on the parallel sweep harness — once on one
+ *    worker, once on `--jobs N` workers (default: hardware
+ *    concurrency) — reporting cells/sec and the parallel speedup.
+ *    The summed witness latency must match between the two runs
+ *    (jobs-invariance); on a >=4-core machine the speedup gates at
+ *    3x.
  *
  * The binary overrides global operator new/delete to count heap
  * allocations inside the measured regions; `churn`/`pool` report
@@ -40,6 +47,8 @@
 #include <string>
 #include <sys/resource.h>
 
+#include "harness/SweepRunner.hh"
+#include "net/Link.hh"
 #include "net/Switch.hh"
 #include "workload/TraceGen.hh"
 #include "kernel/Node.hh"
@@ -299,6 +308,123 @@ runPool(std::uint64_t objects)
     return out;
 }
 
+// -- campaign phase ---------------------------------------------------
+
+/**
+ * One independent campaign cell: a two-node link simulation pushing a
+ * paced MTU train at the given offered load. Deterministic given
+ * (kind, offered, npackets); returns the mean one-way latency as the
+ * cell's witness value.
+ */
+double
+campaignCell(NicKind kind, double offered_gbps, int npackets)
+{
+    SystemConfig cfg;
+    cfg.nic = kind;
+
+    EventQueue eq;
+    Node tx(eq, "tx", cfg, 0);
+    Node rx(eq, "rx", cfg, 1);
+    EthLink link(eq, "link", cfg.eth);
+    link.connect(tx.endpoint(), rx.endpoint());
+    tx.connectTo(link);
+    rx.connectTo(link);
+
+    double sum_us = 0.0;
+    int measured = 0;
+    rx.setReceiveHandler([&](const PacketPtr &pkt, Tick) {
+        sum_us += ticksToUs(pkt->oneWayLatency());
+        ++measured;
+    });
+
+    Random rng(321);
+    Tick t = 0;
+    double mean_gap_ns = 1460.0 * 8.0 / offered_gbps;
+    for (int i = 0; i < npackets; ++i) {
+        t += Tick(rng.exponential(mean_gap_ns) * double(tickPerNs));
+        eq.schedule(t, [&tx, &rx, i] {
+            tx.sendPacket(tx.makeTxPacket(1460, rx.id(), 1 + (i % 8)));
+        });
+    }
+    eq.run();
+    return measured ? sum_us / measured : 0.0;
+}
+
+struct CampaignResult
+{
+    std::uint64_t cells = 0;
+    unsigned jobs = 1;
+    double wallSeq = 0.0;
+    double wallPar = 0.0;
+    double witnessSeq = 0.0; ///< summed cell means, sequential run
+    double witnessPar = 0.0; ///< summed cell means, parallel run
+
+    double
+    speedup() const
+    {
+        return wallPar > 0 ? wallSeq / wallPar : 0.0;
+    }
+    double
+    cellsPerSec() const
+    {
+        return wallPar > 0 ? double(cells) / wallPar : 0.0;
+    }
+};
+
+/**
+ * The same fault-campaign-shaped grid (NIC kind x offered load, every
+ * cell an independent simulation) executed on one worker and then on
+ * @p jobs workers. Cells/sec comes from the parallel run; the
+ * sequential run provides the speedup denominator and the
+ * jobs-invariance witness.
+ */
+CampaignResult
+runCampaign(unsigned jobs, int npackets)
+{
+    const std::vector<double> loads = {2, 6, 10, 14, 18, 22, 26, 30};
+    const std::vector<NicKind> kinds = {
+        NicKind::Discrete, NicKind::Integrated, NicKind::NetDimm};
+
+    auto grid = [&] {
+        std::vector<SweepCell<double>> cells;
+        cells.reserve(kinds.size() * loads.size());
+        for (NicKind kind : kinds) {
+            for (double g : loads) {
+                char label[48];
+                std::snprintf(label, sizeof(label), "%s %.0fGbps",
+                              nicKindName(kind), g);
+                cells.push_back({label, [kind, g, npackets] {
+                                     return campaignCell(kind, g,
+                                                         npackets);
+                                 }});
+            }
+        }
+        return cells;
+    };
+
+    CampaignResult r;
+    r.cells = kinds.size() * loads.size();
+    r.jobs = jobs;
+
+    {
+        SweepRunner seq(1);
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<double> res = seq.run(grid());
+        r.wallSeq = wallSeconds(t0);
+        for (double v : res)
+            r.witnessSeq += v;
+    }
+    {
+        SweepRunner par(jobs);
+        auto t0 = std::chrono::steady_clock::now();
+        std::vector<double> res = par.run(grid());
+        r.wallPar = wallSeconds(t0);
+        for (double v : res)
+            r.witnessPar += v;
+    }
+    return r;
+}
+
 // -- baseline comparison ----------------------------------------------
 
 /** Pull `"key": <number>` out of a JSON blob; nan when absent. */
@@ -322,6 +448,7 @@ main(int argc, char **argv)
     const char *outPath = "BENCH_simcore.json";
     const char *baselinePath = nullptr;
     double tolerance = 0.20;
+    unsigned jobs = 0; // 0 = hardware concurrency
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--short") == 0) {
             shortMode = true;
@@ -334,13 +461,22 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "--tolerance") == 0 &&
                    a + 1 < argc) {
             tolerance = std::atof(argv[++a]);
+        } else if (std::strcmp(argv[a], "--jobs") == 0 &&
+                   a + 1 < argc) {
+            jobs = unsigned(std::atoi(argv[++a]));
         } else {
             std::fprintf(stderr,
                          "usage: %s [--short] [--out FILE] "
-                         "[--baseline FILE] [--tolerance F]\n",
+                         "[--baseline FILE] [--tolerance F] "
+                         "[--jobs N]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
     }
 
     const int npackets = shortMode ? 6000 : 40000;
@@ -381,6 +517,24 @@ main(int argc, char **argv)
                 pool.eventsPerSec(),
                 double(pool.allocs) / double(pool.items));
 
+    const int campPackets = shortMode ? 1200 : 4000;
+    CampaignResult camp = runCampaign(jobs, campPackets);
+    std::printf("campaign: %llu cells, jobs %u, seq %.3fs, par %.3fs, "
+                "%.2fx speedup, %.3g cells/s\n",
+                (unsigned long long)camp.cells, camp.jobs,
+                camp.wallSeq, camp.wallPar, camp.speedup(),
+                camp.cellsPerSec());
+    if (camp.witnessSeq != camp.witnessPar) {
+        std::fprintf(stderr,
+                     "FAIL: campaign witness diverged between jobs=1 "
+                     "and jobs=%u (%.9g vs %.9g) -- cells are not "
+                     "isolated\n",
+                     camp.jobs, camp.witnessSeq, camp.witnessPar);
+        return 1;
+    }
+    std::printf("  witness sum latency (us): %.4f (jobs-invariant)\n",
+                camp.witnessSeq);
+
     long rssKb = peakRssKb();
     std::printf("peak RSS: %ld KB\n", rssKb);
 
@@ -405,6 +559,11 @@ main(int argc, char **argv)
         "\"wall_s\": %.6g, \"allocs\": %llu},\n"
         "  \"pool\": {\"objects\": %llu, \"wall_s\": %.6g, "
         "\"allocs\": %llu},\n"
+        "  \"campaign_cells_per_sec\": %.6g,\n"
+        "  \"campaign_speedup\": %.6g,\n"
+        "  \"campaign\": {\"cells\": %llu, \"jobs\": %u, "
+        "\"wall_s_seq\": %.6g, \"wall_s_par\": %.6g,\n"
+        "               \"witness_sum_latency_us\": %.6g},\n"
         "  \"peak_rss_kb\": %ld\n"
         "}\n",
         shortMode ? "short" : "full", replay.eventsPerSec(),
@@ -416,7 +575,9 @@ main(int argc, char **argv)
         (unsigned long long)churn.events, churn.wallS,
         (unsigned long long)churn.allocs,
         (unsigned long long)pool.items, pool.wallS,
-        (unsigned long long)pool.allocs, rssKb);
+        (unsigned long long)pool.allocs, camp.cellsPerSec(),
+        camp.speedup(), (unsigned long long)camp.cells, camp.jobs,
+        camp.wallSeq, camp.wallPar, camp.witnessSeq, rssKb);
     std::fclose(out);
     std::printf("wrote %s\n", outPath);
 
@@ -441,6 +602,7 @@ main(int argc, char **argv)
         } checks[] = {
             {"replay_events_per_sec", replay.eventsPerSec()},
             {"churn_events_per_sec", churn.eventsPerSec()},
+            {"campaign_cells_per_sec", camp.cellsPerSec()},
         };
         bool ok = true;
         for (const Check &c : checks) {
@@ -466,6 +628,18 @@ main(int argc, char **argv)
             return 1;
         }
         std::printf("baseline check passed\n");
+    }
+
+    // Hard floor, independent of any baseline file: on a machine with
+    // at least four workers the parallel campaign must beat the
+    // sequential run by 3x. Not applied below four jobs (a 1-core
+    // runner can only ever reach ~1x).
+    if (camp.jobs >= 4 && camp.speedup() < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: campaign speedup %.2fx at %u jobs is "
+                     "below the 3.0x floor\n",
+                     camp.speedup(), camp.jobs);
+        return 1;
     }
     return 0;
 }

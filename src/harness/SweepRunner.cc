@@ -1,0 +1,190 @@
+#include "harness/SweepRunner.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/Logging.hh"
+
+namespace netdimm
+{
+
+SweepRunner::SweepRunner(unsigned jobs)
+    : _jobs(jobs != 0 ? jobs : std::thread::hardware_concurrency())
+{
+    if (_jobs == 0)
+        _jobs = 1; // hardware_concurrency() may report 0
+    _cellsByWorker.assign(_jobs, 0);
+    _workers.reserve(_jobs);
+    for (unsigned w = 0; w < _jobs; ++w)
+        _workers.emplace_back([this, w] { workerMain(w); });
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> g(_m);
+        _shutdown = true;
+    }
+    _cv.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+SweepRunner::workerMain(unsigned worker)
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lk(_m);
+            _cv.wait(lk,
+                     [this] { return _shutdown || !_queue.empty(); });
+            if (_queue.empty())
+                return; // shutdown with nothing left to do
+            job = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        job(worker);
+    }
+}
+
+std::uint64_t
+SweepRunner::cellsExecuted() const
+{
+    // Each slot is written only by its owning worker; snapshot reads
+    // here happen while workers are idle (between sweeps).
+    std::uint64_t total = 0;
+    for (std::uint64_t c : _cellsByWorker)
+        total += c;
+    return total;
+}
+
+void
+SweepRunner::runErased(std::size_t n,
+                       const std::function<void(std::size_t)> &exec,
+                       const std::function<const std::string &(
+                           std::size_t)> &label)
+{
+    if (n == 0)
+        return;
+
+    // Completion + failure accounting, shared by the n jobs.
+    std::mutex done_m;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    std::size_t firstFailed = n; // n = no failure
+    std::string failLabel;
+    std::string failWhat;
+
+    {
+        std::lock_guard<std::mutex> g(_m);
+        for (std::size_t i = 0; i < n; ++i) {
+            _queue.emplace_back([&, i](unsigned worker) {
+                std::string what;
+                bool failed = false;
+                try {
+                    exec(i);
+                } catch (const std::exception &e) {
+                    failed = true;
+                    what = e.what();
+                } catch (...) {
+                    failed = true;
+                    what = "unknown exception";
+                }
+                ++_cellsByWorker[worker];
+                std::lock_guard<std::mutex> dg(done_m);
+                // Keep the FIRST failing cell in grid order so the
+                // report does not depend on worker interleaving.
+                if (failed && i < firstFailed) {
+                    firstFailed = i;
+                    failLabel = label(i);
+                    failWhat = what;
+                }
+                if (++done == n)
+                    done_cv.notify_all();
+            });
+        }
+    }
+    _cv.notify_all();
+
+    std::unique_lock<std::mutex> lk(done_m);
+    done_cv.wait(lk, [&] { return done == n; });
+
+    if (firstFailed != n)
+        throw SweepCellError(firstFailed, failLabel, failWhat);
+}
+
+std::vector<WorkerPoolStats>
+SweepRunner::drainWorkerPools()
+{
+    std::vector<WorkerPoolStats> out(_jobs);
+
+    // Rendezvous: enqueue one drain job per worker; a worker that
+    // claims one blocks until all _jobs are claimed, so each worker
+    // takes exactly one and drains exactly its own pools.
+    std::mutex m;
+    std::condition_variable cv;
+    unsigned arrived = 0;
+    std::size_t finished = 0;
+
+    {
+        std::lock_guard<std::mutex> g(_m);
+        for (unsigned j = 0; j < _jobs; ++j) {
+            _queue.emplace_back([&](unsigned worker) {
+                {
+                    std::unique_lock<std::mutex> lk(m);
+                    if (++arrived == _jobs)
+                        cv.notify_all();
+                    else
+                        cv.wait(lk,
+                                [&] { return arrived == _jobs; });
+                }
+                WorkerPoolStats ws;
+                ws.worker = worker;
+                ws.pools = drainObjectPools();
+                ws.cells = _cellsByWorker[worker];
+                std::lock_guard<std::mutex> lk(m);
+                out[worker] = ws;
+                if (++finished == _jobs)
+                    cv.notify_all();
+            });
+        }
+    }
+    _cv.notify_all();
+
+    std::unique_lock<std::mutex> lk(m);
+    cv.wait(lk, [&] { return finished == _jobs; });
+    return out;
+}
+
+SweepCli
+parseSweepCli(int argc, char **argv)
+{
+    SweepCli cli;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--short") == 0) {
+            cli.shortMode = true;
+        } else if (std::strcmp(argv[a], "--jobs") == 0 &&
+                   a + 1 < argc) {
+            long v = std::strtol(argv[++a], nullptr, 10);
+            if (v < 1) {
+                std::fprintf(stderr,
+                             "%s: --jobs must be >= 1 (got %s)\n",
+                             argv[0], argv[a]);
+                std::exit(2);
+            }
+            cli.jobs = unsigned(v);
+        } else {
+            cli.rest.emplace_back(argv[a]);
+        }
+    }
+    if (cli.jobs == 0) {
+        cli.jobs = std::thread::hardware_concurrency();
+        if (cli.jobs == 0)
+            cli.jobs = 1;
+    }
+    return cli;
+}
+
+} // namespace netdimm

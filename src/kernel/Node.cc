@@ -124,7 +124,7 @@ PacketPtr
 Node::makeTxPacket(std::uint32_t bytes, std::uint32_t dst,
                    std::uint64_t flow)
 {
-    PacketPtr pkt = makePacket(bytes, _id, dst);
+    PacketPtr pkt = makePacket(eventq(), bytes, _id, dst);
     pkt->flowId = flow;
 
     if (_netdimm) {

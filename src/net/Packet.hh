@@ -13,6 +13,7 @@
 #include <string>
 
 #include "mem/MemRequest.hh"
+#include "sim/EventQueue.hh"
 #include "sim/Pool.hh"
 #include "sim/SystemConfig.hh"
 #include "sim/Ticks.hh"
@@ -142,12 +143,34 @@ using PacketPtr = std::shared_ptr<Packet>;
  * Pool-aware factory: the packet and its shared_ptr control block
  * live in one free-list-recycled allocation (see sim/Pool.hh), so
  * steady-state packet churn does not touch the heap.
+ *
+ * The id comes from @p eq's per-simulation allocator, so a cell's
+ * packet ids are a pure function of its own history — independent of
+ * other simulations in the process and of which sweep worker runs it.
+ */
+inline PacketPtr
+makePacket(EventQueue &eq, std::uint32_t bytes, std::uint32_t src = 0,
+           std::uint32_t dst = 1)
+{
+    auto p = std::allocate_shared<Packet>(PoolAlloc<Packet>{});
+    p->id = eq.allocPacketId();
+    p->bytes = bytes;
+    p->srcNode = src;
+    p->dstNode = dst;
+    return p;
+}
+
+/**
+ * Queue-less factory for unit tests and standalone packet crafting.
+ * Ids count up per thread, so concurrent sweep cells never contend;
+ * simulation code must use the EventQueue overload instead so ids
+ * stay instance-scoped.
  */
 inline PacketPtr
 makePacket(std::uint32_t bytes, std::uint32_t src = 0,
            std::uint32_t dst = 1)
 {
-    static std::uint64_t nextId = 1;
+    thread_local std::uint64_t nextId = 1;
     auto p = std::allocate_shared<Packet>(PoolAlloc<Packet>{});
     p->id = nextId++;
     p->bytes = bytes;

@@ -160,6 +160,20 @@ class EventQueue
     /** Total events executed since construction. */
     std::uint64_t executedEvents() const { return _executed; }
 
+    // -- per-simulation id allocation -------------------------------------
+    //
+    // Mutable id state lives on the queue, not in a process global, so
+    // a simulation's ids depend only on its own history: the same cell
+    // run twice in one process (or concurrently on two threads) mints
+    // the same ids, which is what keeps sweep output independent of
+    // cell execution order.
+
+    /** Mint the next packet id for this simulation (first id is 1). */
+    std::uint64_t allocPacketId() { return _nextPacketId++; }
+
+    /** Packet ids minted so far. */
+    std::uint64_t packetIdsAllocated() const { return _nextPacketId - 1; }
+
     // -- pool statistics -------------------------------------------------
 
     /** Event slots ever materialized (high-water, slabs never shrink). */
@@ -313,6 +327,7 @@ class EventQueue
     Tick _curTick = 0;
     std::uint64_t _nextSeq = 0;
     std::uint64_t _executed = 0;
+    std::uint64_t _nextPacketId = 1;
 
     std::vector<HealthProbe> _probes;
     std::uint64_t _deadlocks = 0;

@@ -59,7 +59,8 @@ NfHarness::forward(const PacketPtr &pkt, Tick t0)
 {
     // Forward from the same buffer; the TX path reads it wherever it
     // lives (NetDIMM local DRAM / LLC / host DRAM).
-    PacketPtr fwd = makePacket(pkt->bytes, _node.id(), pkt->srcNode);
+    PacketPtr fwd =
+        makePacket(_node.eventq(), pkt->bytes, _node.id(), pkt->srcNode);
     fwd->txBufAddr = pkt->rxBufAddr;
     fwd->born = curTick();
 
