@@ -103,5 +103,22 @@ main()
             r.totalUs * 100.0;
         std::printf("  %4uB: %4.1f%%\n", r.bytes, share);
     }
+
+    // Percentile tail per architecture (shared LatencyHistogram): at
+    // zero load the ping train is nearly deterministic, so p99 should
+    // hug the mean -- a spread here flags queueing in the model.
+    std::printf("\n-- one-way latency percentiles (zero load) --\n");
+    std::printf("%-7s %21s %21s %21s\n", "bytes", "dNIC p50/p99(us)",
+                "iNIC p50/p99(us)", "NetDIMM p50/p99(us)");
+    for (std::size_t i = 0; i < kSizes.size(); ++i) {
+        auto p = [](const PingResult &r, double q) {
+            return r.latency.percentile(q) / double(tickPerUs);
+        };
+        std::printf("%-7u %10.3f/%-10.3f %10.3f/%-10.3f "
+                    "%10.3f/%-10.3f\n",
+                    kSizes[i], p(dnic[i], 0.5), p(dnic[i], 0.99),
+                    p(inic[i], 0.5), p(inic[i], 0.99), p(nd[i], 0.5),
+                    p(nd[i], 0.99));
+    }
     return 0;
 }

@@ -165,7 +165,7 @@ int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    SweepCli cli = parseSweepCli(argc, argv);
+    SweepCli cli = parseSweepCli(argc, argv, {"--reliable"});
     bool reliable = false;
     for (const std::string &a : cli.rest)
         if (a == "--reliable")

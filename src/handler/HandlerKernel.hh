@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Per-packet handler kernels for the NetDIMM handler stage
+ * (PsPIN-style in-network compute, scaled to a buffer device).
+ *
+ * A kernel is a deterministic cycle-cost model plus zero or more DRAM
+ * accesses through the NetDIMM's local memory controller, tagged
+ * MemSource::Handler so they arbitrate against concurrent host
+ * traffic (MemArbPolicy). Kernels run to completion on one handler
+ * core (in-order, blocking on memory) and finish with a verdict:
+ * drop the packet, deliver it to the host RX path after all, or send
+ * a reply straight from the DIMM.
+ *
+ * Determinism rules (DESIGN.md §13): kernels draw no randomness; all
+ * addresses derive from packet fields via splitmix64, all costs from
+ * HandlerConfig cycle counts.
+ */
+
+#ifndef NETDIMM_HANDLER_HANDLERKERNEL_HH
+#define NETDIMM_HANDLER_HANDLERKERNEL_HH
+
+#include <functional>
+#include <memory>
+
+#include "mem/MemoryController.hh"
+#include "net/Packet.hh"
+
+namespace netdimm
+{
+
+/** What the handler stage does with a packet after its kernel ran. */
+enum class HandlerVerdict : std::uint8_t
+{
+    Drop,    ///< consumed on the DIMM; never reaches the host
+    Deliver, ///< fall through to the normal host RX path
+    Reply,   ///< send a response frame straight from the nNIC
+};
+
+struct HandlerResult
+{
+    HandlerVerdict verdict = HandlerVerdict::Deliver;
+    /** Reply frame payload size (Reply verdict only). */
+    std::uint32_t replyBytes = 0;
+};
+
+/**
+ * Address layout of the on-DIMM KV store: a bucket array (one
+ * cacheline per bucket) plus a value slab, carved from the top of the
+ * local DRAM by HandlerStage::configureKv(). Only addresses are
+ * modelled, not contents.
+ */
+struct KvLayout
+{
+    Addr bucketBase = 0;
+    std::uint64_t buckets = 1;
+    Addr valueBase = 0;
+    std::uint64_t slots = 1;
+    std::uint32_t valueBytes = 256;
+
+    /** Value slot stride, cacheline aligned. */
+    std::uint32_t
+    valueStride() const
+    {
+        return (valueBytes + cachelineBytes - 1) &
+               ~(cachelineBytes - 1);
+    }
+
+    Addr
+    bucketAddr(std::uint64_t hash) const
+    {
+        return bucketBase + (hash % buckets) * cachelineBytes;
+    }
+
+    Addr
+    valueAddr(std::uint64_t hash) const
+    {
+        return valueBase + (hash % slots) * valueStride();
+    }
+};
+
+/** splitmix64 finalizer: deterministic key / flow hashing. */
+inline std::uint64_t
+handlerHash(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Everything a kernel may touch: the event queue for cycle charges,
+ * the local memory controller for DRAM traffic, the cost model, and
+ * the carved data-structure regions.
+ */
+class HandlerEnv
+{
+  public:
+    HandlerEnv(EventQueue &eq, MemTarget &mem,
+               const HandlerConfig &cfg, const KvLayout &kv,
+               Addr counter_base, std::uint64_t counter_slots)
+        : _eq(eq), _mem(mem), _cfg(cfg), _kv(kv),
+          _counterBase(counter_base), _counterSlots(counter_slots)
+    {}
+
+    EventQueue &eventq() { return _eq; }
+    MemTarget &mem() { return _mem; }
+    const HandlerConfig &cfg() const { return _cfg; }
+    const KvLayout &kv() const { return _kv; }
+
+    /** Convert handler-core cycles into ticks. */
+    Tick cycles(std::uint64_t n) const { return _cfg.cycles(n); }
+
+    /** Per-flow counter cacheline in the carved counter table. */
+    Addr
+    counterAddr(std::uint64_t flow) const
+    {
+        return _counterBase +
+               (handlerHash(flow) % _counterSlots) * cachelineBytes;
+    }
+
+  private:
+    EventQueue &_eq;
+    MemTarget &_mem;
+    const HandlerConfig &_cfg;
+    const KvLayout &_kv;
+    Addr _counterBase;
+    std::uint64_t _counterSlots;
+};
+
+/** Completion continuation a kernel invokes exactly once. */
+using HandlerDone = std::function<void(HandlerResult)>;
+
+class HandlerKernel
+{
+  public:
+    virtual ~HandlerKernel() = default;
+    /** Registry name the match table references. */
+    virtual const char *name() const = 0;
+    /** Run on @p pkt; must invoke @p done exactly once, possibly
+     *  after memory accesses complete. */
+    virtual void run(HandlerEnv &env, const PacketPtr &pkt,
+                     HandlerDone done) = 0;
+};
+
+// -- built-in kernels ---------------------------------------------------
+/** Drops every matched packet after filterCycles ("filter"). */
+std::unique_ptr<HandlerKernel> makeFilterKernel();
+/** Per-flow 64B counter read-modify-write, then drop ("counter"). */
+std::unique_ptr<HandlerKernel> makeCounterKernel();
+/** KV GET/PUT: bucket probe + value access, replies ("kv"). */
+std::unique_ptr<HandlerKernel> makeKvKernel();
+
+} // namespace netdimm
+
+#endif // NETDIMM_HANDLER_HANDLERKERNEL_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Built-in handler kernels: filter/drop, per-flow counter
+ * aggregation, and the KV-cache GET/PUT lookup. Each is a pure
+ * cycle/memory cost model — payload contents are not simulated, only
+ * where the bytes live and how long the core is busy.
+ */
+
+#include "handler/HandlerKernel.hh"
+
+namespace netdimm
+{
+
+namespace
+{
+
+/** ACL-style filter: burn the classify cost, drop the frame. */
+class FilterKernel : public HandlerKernel
+{
+  public:
+    const char *name() const override { return "filter"; }
+
+    void
+    run(HandlerEnv &env, const PacketPtr &, HandlerDone done) override
+    {
+        env.eventq().scheduleRel(
+            env.cycles(env.cfg().filterCycles), [done] {
+                HandlerResult r;
+                r.verdict = HandlerVerdict::Drop;
+                done(r);
+            });
+    }
+};
+
+/**
+ * Telemetry aggregation: one 64B read-modify-write against the
+ * per-flow counter table, then the frame is consumed. The RMW is a
+ * dependent read + write pair on the local channel.
+ */
+class CounterKernel : public HandlerKernel
+{
+  public:
+    const char *name() const override { return "counter"; }
+
+    void
+    run(HandlerEnv &env, const PacketPtr &pkt,
+        HandlerDone done) override
+    {
+        Addr line = env.counterAddr(pkt->flowId);
+        env.eventq().scheduleRel(
+            env.cycles(env.cfg().counterCycles),
+            [&env, line, done] {
+                auto rd = makeMemRequest(
+                    line, cachelineBytes, false, MemSource::Handler,
+                    [&env, line, done](Tick) {
+                        auto wr = makeMemRequest(
+                            line, cachelineBytes, true,
+                            MemSource::Handler, [done](Tick) {
+                                HandlerResult r;
+                                r.verdict = HandlerVerdict::Drop;
+                                done(r);
+                            });
+                        env.mem().access(wr);
+                    });
+                env.mem().access(rd);
+            });
+    }
+};
+
+/**
+ * KV-cache lookup: hash the key, read the bucket cacheline, then
+ * read (GET) or write (PUT) the value slot. GET replies with the
+ * value, PUT with a 64B ack. Every access goes through the local nMC
+ * as handler-class traffic.
+ */
+class KvKernel : public HandlerKernel
+{
+  public:
+    const char *name() const override { return "kv"; }
+
+    void
+    run(HandlerEnv &env, const PacketPtr &pkt,
+        HandlerDone done) override
+    {
+        std::uint64_t h = handlerHash(pkt->rpcKey);
+        bool put = pkt->rpcOp == RpcOp::Put;
+        Addr bucket = env.kv().bucketAddr(h);
+        env.eventq().scheduleRel(
+            env.cycles(env.cfg().kvCycles),
+            [&env, h, put, bucket, done] {
+                auto probe = makeMemRequest(
+                    bucket, cachelineBytes, false, MemSource::Handler,
+                    [&env, h, put, done](Tick) {
+                        Addr value = env.kv().valueAddr(h);
+                        std::uint32_t bytes = env.kv().valueBytes;
+                        auto access = makeMemRequest(
+                            value, bytes, put, MemSource::Handler,
+                            [put, bytes, done](Tick) {
+                                HandlerResult r;
+                                r.verdict = HandlerVerdict::Reply;
+                                r.replyBytes =
+                                    put ? 64u : bytes;
+                                done(r);
+                            });
+                        env.mem().access(access);
+                    });
+                env.mem().access(probe);
+            });
+    }
+};
+
+} // namespace
+
+std::unique_ptr<HandlerKernel>
+makeFilterKernel()
+{
+    return std::make_unique<FilterKernel>();
+}
+
+std::unique_ptr<HandlerKernel>
+makeCounterKernel()
+{
+    return std::make_unique<CounterKernel>();
+}
+
+std::unique_ptr<HandlerKernel>
+makeKvKernel()
+{
+    return std::make_unique<KvKernel>();
+}
+
+} // namespace netdimm

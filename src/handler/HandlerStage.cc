@@ -1,0 +1,184 @@
+#include "handler/HandlerStage.hh"
+
+#include <algorithm>
+
+namespace netdimm
+{
+
+HandlerStage::HandlerStage(EventQueue &eq, std::string name,
+                           const SystemConfig &cfg,
+                           MemTarget &local_mem,
+                           std::uint64_t local_bytes)
+    : SimObject(eq, std::move(name)), _cfg(cfg.handler),
+      _pipeLatency(cfg.nicModel.pipelineLatency),
+      _ctrlLatency(cfg.netdimm.controllerLatency),
+      _localBytes(local_bytes)
+{
+    ND_ASSERT(_cfg.cores > 0 && _cfg.runQueueDepth > 0);
+    _kv.buckets = 1ull << 15;
+    _kv.slots = 1ull << 15;
+    _kv.valueBytes = 256;
+    _counterSlots = 4096;
+    carveRegions();
+    _env = std::make_unique<HandlerEnv>(eq, local_mem, _cfg, _kv,
+                                        _counterBase, _counterSlots);
+    registerKernel(makeFilterKernel());
+    registerKernel(makeCounterKernel());
+    registerKernel(makeKvKernel());
+}
+
+void
+HandlerStage::carveRegions()
+{
+    // Data structures live at the top of the local DRAM, below the
+    // RX/TX buffer space the driver manages at the bottom.
+    Addr p = _localBytes;
+    std::uint64_t values =
+        _kv.slots * std::uint64_t(_kv.valueStride());
+    std::uint64_t buckets = _kv.buckets * cachelineBytes;
+    std::uint64_t counters = _counterSlots * cachelineBytes;
+    ND_ASSERT(values + buckets + counters < _localBytes / 2);
+    p -= values;
+    _kv.valueBase = p;
+    p -= buckets;
+    _kv.bucketBase = p;
+    p -= counters;
+    _counterBase = p;
+}
+
+void
+HandlerStage::configureKv(std::uint64_t buckets, std::uint64_t slots,
+                          std::uint32_t value_bytes)
+{
+    ND_ASSERT(buckets > 0 && slots > 0 && value_bytes > 0);
+    _kv.buckets = buckets;
+    _kv.slots = slots;
+    _kv.valueBytes = value_bytes;
+    carveRegions();
+}
+
+void
+HandlerStage::registerKernel(std::unique_ptr<HandlerKernel> kernel)
+{
+    ND_ASSERT(kernel);
+    for (auto &k : _kernels) {
+        if (std::string(k->name()) == kernel->name()) {
+            k = std::move(kernel);
+            return;
+        }
+    }
+    _kernels.push_back(std::move(kernel));
+}
+
+HandlerKernel *
+HandlerStage::kernel(const std::string &name)
+{
+    for (auto &k : _kernels)
+        if (name == k->name())
+            return k.get();
+    return nullptr;
+}
+
+bool
+HandlerStage::offer(const PacketPtr &pkt)
+{
+    if (_table.empty())
+        return false;
+    const MatchRule *rule = _table.lookup(*pkt);
+    if (!rule)
+        return false;
+    HandlerKernel *k = kernel(rule->kernel);
+    ND_ASSERT(k); // a rule must reference a registered kernel
+
+    if (_busyCores >= _cfg.cores &&
+        _queue.size() >= _cfg.runQueueDepth) {
+        _overflows.inc();
+        return false;
+    }
+
+    _accepted.inc();
+    _queue.push_back({pkt, k});
+    if (_queue.size() > _maxQueue.value())
+        _maxQueue.inc(_queue.size() - _maxQueue.value());
+    tryDispatch();
+    return true;
+}
+
+void
+HandlerStage::tryDispatch()
+{
+    while (_busyCores < _cfg.cores && !_queue.empty()) {
+        Pending p = std::move(_queue.front());
+        _queue.pop_front();
+        ++_busyCores;
+        startInvocation(std::move(p));
+    }
+}
+
+void
+HandlerStage::startInvocation(Pending p)
+{
+    Tick start = curTick();
+    // nNIC pipeline hands the frame over, nController routes it to
+    // the core, the core runs the dispatch trampoline; then the
+    // kernel body (cycles + memory accesses) runs to completion.
+    Tick lead = _pipeLatency + _ctrlLatency +
+                _cfg.cycles(_cfg.dispatchCycles);
+    scheduleRel(lead, [this, p = std::move(p), start] {
+        p.kernel->run(*_env, p.pkt,
+                      [this, pkt = p.pkt, start](HandlerResult r) {
+                          finishInvocation(pkt, r, start);
+                      });
+    });
+}
+
+void
+HandlerStage::finishInvocation(const PacketPtr &pkt, HandlerResult r,
+                               Tick start)
+{
+    _invocations.inc();
+    _busyTicks += curTick() - start;
+
+    switch (r.verdict) {
+      case HandlerVerdict::Drop:
+        _drops.inc();
+        break;
+      case HandlerVerdict::Deliver:
+        _toHost.inc();
+        ND_ASSERT(_hostRx);
+        _hostRx(pkt);
+        break;
+      case HandlerVerdict::Reply: {
+        _replies.inc();
+        PacketPtr resp =
+            makePacket(eventq(), std::max(r.replyBytes, 64u),
+                       pkt->dstNode, pkt->srcNode);
+        resp->flowId = pkt->flowId;
+        resp->rpcOp = RpcOp::Resp;
+        resp->rpcKey = pkt->rpcKey;
+        resp->born = curTick();
+        // The reply leaves through the nNIC TX pipeline; no host
+        // descriptor, no driver, no DMA.
+        eventq().scheduleRel(_pipeLatency, [this, resp] {
+            ND_ASSERT(_tx);
+            _tx(resp);
+        });
+        break;
+      }
+    }
+
+    ND_ASSERT(_busyCores > 0);
+    --_busyCores;
+    tryDispatch();
+}
+
+double
+HandlerStage::coreUtilization() const
+{
+    Tick now = curTick();
+    if (now == 0)
+        return 0.0;
+    return double(_busyTicks) / (double(now) * double(_cfg.cores));
+}
+
+} // namespace netdimm

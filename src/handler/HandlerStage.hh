@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The programmable handler stage of a NetDIMM device: a small pool
+ * of wimpy in-order handler cores fed by a bounded run queue, with a
+ * match table classifying RX frames before they touch the host RX
+ * ring (Sec. "near-memory packet compute" of the roadmap; PsPIN-style
+ * handlers, CHoNDA-style DRAM arbitration).
+ *
+ * Life of a matched frame:
+ *
+ *   nNIC MAC -> match table (line rate) -> run queue -> handler core
+ *     -> dispatch cycles -> kernel (cycles + nMC accesses tagged
+ *        MemSource::Handler) -> verdict
+ *
+ * Drop consumes the frame on the DIMM; Reply builds a response frame
+ * and transmits it through the nNIC without ever waking the host;
+ * Deliver falls through to the normal host RX path. A full run queue
+ * (all cores busy) refuses the frame at classification time — the
+ * frame takes the host path and the overflow is counted, so handler
+ * offload degrades gracefully instead of dropping load.
+ *
+ * Everything here is deterministic: no randomness, costs from
+ * HandlerConfig, addresses from packet fields (DESIGN.md §13).
+ */
+
+#ifndef NETDIMM_HANDLER_HANDLERSTAGE_HH
+#define NETDIMM_HANDLER_HANDLERSTAGE_HH
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "handler/HandlerKernel.hh"
+#include "handler/MatchTable.hh"
+#include "sim/SimObject.hh"
+#include "sim/Stats.hh"
+
+namespace netdimm
+{
+
+class HandlerStage : public SimObject
+{
+  public:
+    /** Transmit a reply frame through the owning device's nNIC. */
+    using TxFn = std::function<void(const PacketPtr &)>;
+    /** Hand a packet to the owning device's host RX path. */
+    using HostRxFn = std::function<void(const PacketPtr &)>;
+
+    /**
+     * @param local_mem the NetDIMM's local memory controller.
+     * @param local_bytes local DRAM capacity; the KV / counter
+     *        regions are carved from its top.
+     */
+    HandlerStage(EventQueue &eq, std::string name,
+                 const SystemConfig &cfg, MemTarget &local_mem,
+                 std::uint64_t local_bytes);
+
+    void setTx(TxFn tx) { _tx = std::move(tx); }
+    void setHostRx(HostRxFn rx) { _hostRx = std::move(rx); }
+
+    MatchTable &table() { return _table; }
+    const MatchTable &table() const { return _table; }
+
+    /** Register @p kernel under its name() (replaces an existing
+     *  registration of the same name). */
+    void registerKernel(std::unique_ptr<HandlerKernel> kernel);
+    /** Registered kernel by name; nullptr when unknown. */
+    HandlerKernel *kernel(const std::string &name);
+
+    /**
+     * Size the on-DIMM KV store (bucket array + value slab at the
+     * top of local DRAM). Built-in defaults are installed at
+     * construction; serving workloads call this to match their
+     * footprint.
+     */
+    void configureKv(std::uint64_t buckets, std::uint64_t slots,
+                     std::uint32_t value_bytes);
+    const KvLayout &kv() const { return _kv; }
+
+    /**
+     * Classify @p pkt at RX. @return true when the stage consumed it
+     * (queued on a handler core); false when no rule matched or the
+     * run queue overflowed — the caller delivers to the host.
+     */
+    bool offer(const PacketPtr &pkt);
+
+    // -- statistics ---------------------------------------------------
+    /** Frames accepted into the run queue. */
+    std::uint64_t accepted() const { return _accepted.value(); }
+    /** Matched frames refused because the stage was saturated. */
+    std::uint64_t overflows() const { return _overflows.value(); }
+    /** Kernel invocations completed. */
+    std::uint64_t invocations() const { return _invocations.value(); }
+    /** Frames consumed with the Drop verdict. */
+    std::uint64_t drops() const { return _drops.value(); }
+    /** Reply frames transmitted from the DIMM. */
+    std::uint64_t replies() const { return _replies.value(); }
+    /** Frames the kernel bounced to the host (Deliver verdict). */
+    std::uint64_t toHost() const { return _toHost.value(); }
+    /** Peak run-queue depth observed. */
+    std::uint64_t maxQueueDepth() const { return _maxQueue.value(); }
+    /** Aggregate core-busy ticks (occupancy, all cores). */
+    Tick busyTicks() const { return _busyTicks; }
+    /** Mean per-core utilization since tick 0, in [0, 1]. */
+    double coreUtilization() const;
+
+    std::uint32_t cores() const { return _cfg.cores; }
+
+  private:
+    struct Pending
+    {
+        PacketPtr pkt;
+        HandlerKernel *kernel;
+    };
+
+    /** Owned copies: the stage outlives no config references. */
+    const HandlerConfig _cfg;
+    const Tick _pipeLatency;
+    const Tick _ctrlLatency;
+    const std::uint64_t _localBytes;
+
+    MatchTable _table;
+    std::vector<std::unique_ptr<HandlerKernel>> _kernels;
+    KvLayout _kv;
+    Addr _counterBase = 0;
+    std::uint64_t _counterSlots = 0;
+    std::unique_ptr<HandlerEnv> _env;
+
+    TxFn _tx;
+    HostRxFn _hostRx;
+
+    std::deque<Pending> _queue;
+    std::uint32_t _busyCores = 0;
+    Tick _busyTicks = 0;
+
+    stats::Scalar _accepted, _overflows, _invocations;
+    stats::Scalar _drops, _replies, _toHost, _maxQueue;
+
+    /** Carve counter + KV regions from the top of local DRAM. */
+    void carveRegions();
+    void tryDispatch();
+    void startInvocation(Pending p);
+    void finishInvocation(const PacketPtr &pkt, HandlerResult r,
+                          Tick start);
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_HANDLER_HANDLERSTAGE_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Per-packet match table of the NetDIMM handler stage: an ordered
+ * rule list (flow and/or RPC opcode, either wildcarded) mapping to a
+ * registered kernel name. First matching rule wins, so narrower
+ * rules go in front — the classic flow-table contract.
+ *
+ * Classification happens at line rate in the nNIC parser, so lookup
+ * is a plain scan over a handful of rules with no modelled latency;
+ * the dispatch cost is charged by HandlerStage.
+ */
+
+#ifndef NETDIMM_HANDLER_MATCHTABLE_HH
+#define NETDIMM_HANDLER_MATCHTABLE_HH
+
+#include <string>
+#include <vector>
+
+#include "net/Packet.hh"
+#include "sim/Stats.hh"
+
+namespace netdimm
+{
+
+struct MatchRule
+{
+    std::uint64_t flowId = 0;
+    bool anyFlow = true;
+    RpcOp op = RpcOp::None;
+    bool anyOp = true;
+    /** Registered kernel name this rule dispatches to. */
+    std::string kernel;
+
+    /** Match every packet. */
+    static MatchRule
+    all(std::string kernel_name)
+    {
+        MatchRule r;
+        r.kernel = std::move(kernel_name);
+        return r;
+    }
+
+    /** Match a specific RPC opcode, any flow. */
+    static MatchRule
+    onOp(RpcOp op, std::string kernel_name)
+    {
+        MatchRule r;
+        r.op = op;
+        r.anyOp = false;
+        r.kernel = std::move(kernel_name);
+        return r;
+    }
+
+    /** Match a specific flow, any opcode. */
+    static MatchRule
+    onFlow(std::uint64_t flow, std::string kernel_name)
+    {
+        MatchRule r;
+        r.flowId = flow;
+        r.anyFlow = false;
+        r.kernel = std::move(kernel_name);
+        return r;
+    }
+
+    bool
+    matches(const Packet &pkt) const
+    {
+        if (!anyFlow && pkt.flowId != flowId)
+            return false;
+        if (!anyOp && pkt.rpcOp != op)
+            return false;
+        return true;
+    }
+};
+
+class MatchTable
+{
+  public:
+    void add(MatchRule rule) { _rules.push_back(std::move(rule)); }
+    void clear() { _rules.clear(); }
+    bool empty() const { return _rules.empty(); }
+    std::size_t size() const { return _rules.size(); }
+
+    /** First rule matching @p pkt; nullptr when none does. */
+    const MatchRule *
+    lookup(const Packet &pkt) const
+    {
+        _lookups.inc();
+        for (const MatchRule &r : _rules) {
+            if (r.matches(pkt)) {
+                _matches.inc();
+                return &r;
+            }
+        }
+        return nullptr;
+    }
+
+    std::uint64_t lookups() const { return _lookups.value(); }
+    std::uint64_t matches() const { return _matches.value(); }
+
+  private:
+    std::vector<MatchRule> _rules;
+    mutable stats::Scalar _lookups;
+    mutable stats::Scalar _matches;
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_HANDLER_MATCHTABLE_HH

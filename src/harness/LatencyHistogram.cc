@@ -1,0 +1,183 @@
+#include "harness/LatencyHistogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/Logging.hh"
+
+namespace netdimm
+{
+
+LatencyHistogram::LatencyHistogram(std::uint32_t sub_bucket_bits)
+    : _subBits(sub_bucket_bits)
+{
+    ND_ASSERT(_subBits >= 2 && _subBits <= 16);
+    std::size_t sub = std::size_t(1) << _subBits;
+    std::size_t groups = 64 - _subBits; // one per octave above sub
+    _buckets.assign(sub + groups * (sub / 2), 0);
+}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t v) const
+{
+    std::uint64_t sub = std::uint64_t(1) << _subBits;
+    if (v < sub)
+        return std::size_t(v);
+    unsigned msb = 63u - unsigned(std::countl_zero(v));
+    unsigned g = msb - _subBits + 1;
+    // v >> g lies in [sub/2, sub): sub/2 linear sub-buckets per
+    // octave, each 2^g values wide.
+    return std::size_t(sub) +
+           std::size_t(g - 1) * std::size_t(sub / 2) +
+           std::size_t((v >> g) - sub / 2);
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(std::size_t i) const
+{
+    std::uint64_t sub = std::uint64_t(1) << _subBits;
+    if (i < sub)
+        return i;
+    std::size_t j = i - std::size_t(sub);
+    std::uint64_t g = j / (sub / 2) + 1;
+    std::uint64_t off = j % (sub / 2);
+    return (off + sub / 2) << g;
+}
+
+std::uint64_t
+LatencyHistogram::bucketHigh(std::size_t i) const
+{
+    std::uint64_t sub = std::uint64_t(1) << _subBits;
+    if (i < sub)
+        return i + 1;
+    std::size_t j = i - std::size_t(sub);
+    std::uint64_t g = j / (sub / 2) + 1;
+    return bucketLow(i) + (std::uint64_t(1) << g);
+}
+
+void
+LatencyHistogram::sample(std::uint64_t value)
+{
+    ++_count;
+    _min = std::min(_min, value);
+    _max = std::max(_max, value);
+    _sum += value;
+    ++_buckets[bucketIndex(value)];
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    ND_ASSERT(_subBits == other._subBits);
+    _count += other._count;
+    _sum += other._sum;
+    if (other._count) {
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        _buckets[i] += other._buckets[i];
+}
+
+void
+LatencyHistogram::reset()
+{
+    _count = 0;
+    _min = ~std::uint64_t(0);
+    _max = 0;
+    _sum = 0;
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    std::uint64_t rank =
+        std::uint64_t(std::ceil(q * double(_count)));
+    rank = std::max<std::uint64_t>(1, std::min(rank, _count));
+    // The extremes are tracked exactly; skip the binned estimate.
+    if (rank == _count)
+        return double(_max);
+    if (rank == 1)
+        return double(_min);
+
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        if (cum + _buckets[i] < rank) {
+            cum += _buckets[i];
+            continue;
+        }
+        double low = double(bucketLow(i));
+        double high = double(bucketHigh(i));
+        // Rank position *within* the bucket, anchored at the lower
+        // edge: a bucket holding one sample reads back its low edge,
+        // which keeps the sub-2^subBits linear region exact.
+        double pos =
+            double(rank - cum - 1) / double(_buckets[i]);
+        double v = low + (high - low) * pos;
+        // The exact extremes are known; never report beyond them.
+        return std::min(double(_max), std::max(double(_min), v));
+    }
+    return double(_max);
+}
+
+double
+LatencyHistogram::fractionAbove(double threshold) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (threshold < double(_min))
+        return 1.0;
+    if (threshold >= double(_max))
+        return 0.0;
+    double above = 0.0;
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        double low = double(bucketLow(i));
+        double high = double(bucketHigh(i));
+        if (low > threshold) {
+            above += double(_buckets[i]);
+        } else if (high > threshold) {
+            // Straddling bucket: the population is integer-valued in
+            // [low, high); assume it uniform and count the integers
+            // strictly above. Exact for width-1 (linear) buckets.
+            double ints_above = (high - 1.0) - std::floor(threshold);
+            ints_above =
+                std::max(0.0, std::min(ints_above, high - low));
+            above += double(_buckets[i]) * ints_above / (high - low);
+        }
+    }
+    return above / double(_count);
+}
+
+std::string
+LatencyHistogram::digest() const
+{
+    char head[160];
+    std::snprintf(head, sizeof(head),
+                  "lhist bits=%u n=%llu min=%llu max=%llu sum=%llu;",
+                  _subBits, (unsigned long long)_count,
+                  (unsigned long long)minValue(),
+                  (unsigned long long)maxValue(),
+                  (unsigned long long)_sum);
+    std::string out(head);
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        char entry[48];
+        std::snprintf(entry, sizeof(entry), "%zu:%llu ", i,
+                      (unsigned long long)_buckets[i]);
+        out += entry;
+    }
+    return out;
+}
+
+} // namespace netdimm

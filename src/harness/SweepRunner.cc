@@ -158,31 +158,72 @@ SweepRunner::drainWorkerPools()
     return out;
 }
 
-SweepCli
-parseSweepCli(int argc, char **argv)
+bool
+tryParseSweepCli(const std::vector<std::string> &args,
+                 const std::vector<std::string> &extra_flags,
+                 SweepCli &out, std::string &error)
 {
     SweepCli cli;
-    for (int a = 1; a < argc; ++a) {
-        if (std::strcmp(argv[a], "--short") == 0) {
+    for (std::size_t a = 0; a < args.size(); ++a) {
+        const std::string &arg = args[a];
+        if (arg == "--short") {
             cli.shortMode = true;
-        } else if (std::strcmp(argv[a], "--jobs") == 0 &&
-                   a + 1 < argc) {
-            long v = std::strtol(argv[++a], nullptr, 10);
-            if (v < 1) {
-                std::fprintf(stderr,
-                             "%s: --jobs must be >= 1 (got %s)\n",
-                             argv[0], argv[a]);
-                std::exit(2);
-            }
-            cli.jobs = unsigned(v);
-        } else {
-            cli.rest.emplace_back(argv[a]);
+            continue;
         }
+        if (arg == "--jobs") {
+            if (a + 1 >= args.size()) {
+                error = "--jobs requires a value";
+                return false;
+            }
+            const std::string &v = args[++a];
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || n < 1) {
+                error = "--jobs must be a positive integer (got '" +
+                        v + "')";
+                return false;
+            }
+            cli.jobs = unsigned(n);
+            continue;
+        }
+        bool allowed = false;
+        for (const std::string &f : extra_flags)
+            if (arg == f) {
+                allowed = true;
+                break;
+            }
+        if (!allowed) {
+            error = "unknown argument '" + arg + "'";
+            return false;
+        }
+        cli.rest.push_back(arg);
     }
     if (cli.jobs == 0) {
         cli.jobs = std::thread::hardware_concurrency();
         if (cli.jobs == 0)
             cli.jobs = 1;
+    }
+    out = cli;
+    return true;
+}
+
+SweepCli
+parseSweepCli(int argc, char **argv,
+              const std::vector<std::string> &extra_flags)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    SweepCli cli;
+    std::string error;
+    if (!tryParseSweepCli(args, extra_flags, cli, error)) {
+        std::string usage = "usage: ";
+        usage += argc > 0 ? argv[0] : "bench";
+        usage += " [--short] [--jobs N]";
+        for (const std::string &f : extra_flags)
+            usage += " [" + f + "]";
+        std::fprintf(stderr, "%s: %s\n%s\n",
+                     argc > 0 ? argv[0] : "bench", error.c_str(),
+                     usage.c_str());
+        std::exit(2);
     }
     return cli;
 }

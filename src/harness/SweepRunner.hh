@@ -174,17 +174,36 @@ class SweepRunner
 /**
  * Shared command-line surface of the sweep benches: `--jobs N`
  * (default: hardware concurrency) plus the conventional `--short`.
- * Unrecognized arguments are left to the caller in `rest`.
+ * Bench-specific flags must be declared in the allowlist passed to
+ * the parser; they land in `rest` for the caller. Anything else is a
+ * hard parse error — typos fail loudly instead of silently running
+ * the wrong experiment.
  */
 struct SweepCli
 {
     unsigned jobs = 0; ///< resolved: >= 1
     bool shortMode = false;
+    /** Allowlisted caller-handled flags, in argv order. */
     std::vector<std::string> rest;
 };
 
-/** Parse --jobs/--short out of argv (exits with usage on bad N). */
-SweepCli parseSweepCli(int argc, char **argv);
+/**
+ * Testable parser core. @p args is argv[1..argc); @p extra_flags is
+ * the allowlist of valueless caller-handled flags. On success fills
+ * @p out and returns true; on bad input (unknown argument, missing /
+ * non-numeric / < 1 `--jobs` value) returns false with a one-line
+ * diagnostic in @p error.
+ */
+bool tryParseSweepCli(const std::vector<std::string> &args,
+                      const std::vector<std::string> &extra_flags,
+                      SweepCli &out, std::string &error);
+
+/**
+ * Parse argv; on any parse error prints the diagnostic plus a usage
+ * line (mentioning @p extra_flags) to stderr and exits with status 2.
+ */
+SweepCli parseSweepCli(int argc, char **argv,
+                       const std::vector<std::string> &extra_flags = {});
 
 } // namespace netdimm
 

@@ -245,7 +245,26 @@ Node::printStats(std::ostream &os) const
         nc.add("misses", double(_netdimm->ncache().misses()));
         nc.add("inserts", double(_netdimm->ncache().inserts()));
         nc.add("evictions", double(_netdimm->ncache().evictions()));
+        nc.add("occupancy", double(_netdimm->ncache().occupancy()));
+        nc.add("reinserts", double(_netdimm->ncache().reinserts()));
+        nc.add("invalidations",
+               double(_netdimm->ncache().invalidations()));
         nc.print(os);
+
+        if (const HandlerStage *hs = _netdimm->handlers()) {
+            StatGroup h(name() + ".netdimm.handlers");
+            h.add("accepted", double(hs->accepted()));
+            h.add("overflows", double(hs->overflows()));
+            h.add("invocations", double(hs->invocations()));
+            h.add("drops", double(hs->drops()));
+            h.add("replies", double(hs->replies()));
+            h.add("toHost", double(hs->toHost()));
+            h.add("maxQueueDepth", double(hs->maxQueueDepth()));
+            h.add("coreUtilization", hs->coreUtilization());
+            h.add("busFraction",
+                  _netdimm->localMc().handlerBusFraction());
+            h.print(os);
+        }
 
         const RowCloneEngine &rc = _netdimm->rowCloneEngine();
         StatGroup cl(name() + ".netdimm.rowclone");

@@ -6,6 +6,7 @@
 #ifndef NETDIMM_MEM_MEMREQUEST_HH
 #define NETDIMM_MEM_MEMREQUEST_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -28,7 +29,17 @@ enum class MemSource : std::uint8_t
     Clone,     ///< RowClone engine activity
     Prefetch,  ///< nPrefetcher fills
     Other,
+    /**
+     * Near-memory handler kernels (src/handler). The only source in
+     * the handler arbitration class; every other source is
+     * host-class (MemArbPolicy).
+     */
+    Handler,
 };
+
+/** Number of MemSource values; sizes per-source stats arrays. */
+constexpr std::size_t numMemSources =
+    std::size_t(MemSource::Handler) + 1;
 
 /**
  * One memory transaction. Components pass shared_ptrs so a request

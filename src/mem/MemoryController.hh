@@ -121,6 +121,18 @@ class MemoryController : public SimObject, public MemTarget
     std::uint64_t rowHits() const { return _rowHits.value(); }
     std::uint64_t rowMisses() const { return _rowMisses.value(); }
     std::uint64_t beatsServiced() const { return _beats.value(); }
+    /** Beats issued for the handler requestor class. */
+    std::uint64_t handlerBeats() const { return _handlerBeats.value(); }
+    /** Data-bus ticks consumed by handler-class beats. */
+    Tick handlerBusTicks() const { return _handlerBusTicks; }
+    /** Handler share of all bus occupancy so far, in [0, 1]. */
+    double
+    handlerBusFraction() const
+    {
+        return _busBusyTicks
+                   ? double(_handlerBusTicks) / double(_busBusyTicks)
+                   : 0.0;
+    }
     /** ECC errors corrected in line (scrub delay charged). */
     std::uint64_t eccCorrectable() const
     {
@@ -155,6 +167,7 @@ class MemoryController : public SimObject, public MemTarget
         std::uint64_t row;     ///< rowId(da), decoded once at enqueue
         std::uint32_t bankIdx; ///< rank * banksPerDevice + bank
         bool write;
+        bool handler; ///< handler requestor class (MemArbPolicy)
         Tick ready; ///< earliest schedulable tick (frontend applied)
     };
 
@@ -233,6 +246,19 @@ class MemoryController : public SimObject, public MemTarget
     std::size_t _drainHi = 0; ///< precomputed write-drain watermark
     bool _draining = false;
     bool _serviceScheduled = false;
+    Tick _serviceAt = 0; ///< tick of the earliest pending service event
+
+    // -- handler-class arbitration state ------------------------------
+    /** Handler beats currently queued (both queues). When zero the
+     *  scheduler takes the exact legacy path, so host-only configs
+     *  are bit-identical to the pre-handler controller. */
+    std::size_t _handlerQueued = 0;
+    /** Fair policy: next contended pick goes to the handler class.
+     *  Mutated by the (logically const) candidate selection. */
+    mutable bool _fairNext = false;
+    /** StaticCap budget numerator, clamped share in [0.01, 1]. */
+    Tick _handlerBusTicks = 0;
+    double _handlerShare = 1.0;
 
     TraceHook _trace;
     FaultDomain *_faultDomain = nullptr;
@@ -242,6 +268,7 @@ class MemoryController : public SimObject, public MemTarget
     stats::Scalar _rowHits;
     stats::Scalar _rowMisses;
     stats::Scalar _beats;
+    stats::Scalar _handlerBeats;
     stats::Scalar _eccCorrectable;
     stats::Scalar _eccUncorrectable;
 
@@ -250,6 +277,17 @@ class MemoryController : public SimObject, public MemTarget
     void service();
     /** Pick the next beat to issue; returns false if nothing ready. */
     bool pickBeat(Beat &out);
+    /** Class-aware pick inside @p q; npos when nothing issuable. */
+    std::size_t pickClassAware(const BeatQueue &q) const;
+    /** StaticCap: first tick the handler class is under budget. */
+    Tick capAllowedTick() const;
+    /** True when StaticCap admits a handler beat right now. */
+    bool capAllowsHandler() const
+    {
+        return capAllowedTick() <= curTick();
+    }
+    /** Earliest future work in @p q, cap-blocking accounted. */
+    Tick queueNext(const BeatQueue &q) const;
     void issueBeat(const Beat &beat);
     void finishBeat(const Beat &beat, Tick done);
 };

@@ -46,6 +46,18 @@ constexpr std::size_t numLatComps =
 /** @return display name matching the paper's legend. */
 const char *latCompName(LatComp c);
 
+/**
+ * RPC opcode carried by serving-workload packets; the NetDIMM match
+ * table dispatches on it (src/handler). None marks ordinary traffic.
+ */
+enum class RpcOp : std::uint8_t
+{
+    None = 0,
+    Get,  ///< KV lookup request
+    Put,  ///< KV update request
+    Resp, ///< server -> client response
+};
+
 /** Accumulated per-component latency of one packet's one-way trip. */
 struct LatencyBreakdown
 {
@@ -126,6 +138,13 @@ struct Packet
     bool corrupted = false;
     /** This segment is a retransmission. */
     bool retransmit = false;
+
+    // -- RPC header (src/workload/RpcServingLoad, src/handler) --------
+    /** RPC opcode; None for non-RPC traffic. */
+    RpcOp rpcOp = RpcOp::None;
+    /** Request key: correlates a response with its request and
+     *  addresses the KV store (hashed). */
+    std::uint64_t rpcKey = 0;
 
     /** Number of cachelines the payload spans (1..24 for <= MTU). */
     std::uint32_t

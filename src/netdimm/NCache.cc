@@ -53,6 +53,8 @@ NCache::consume(Addr addr)
     // RX buffer address, so keeping the line has no value.
     l->valid = false;
     l->header = false;
+    ND_ASSERT(_resident > 0);
+    --_resident;
     return r;
 }
 
@@ -72,6 +74,7 @@ NCache::insert(Addr addr, bool is_header)
     if (Line *l = find(addr)) {
         l->header = is_header;
         _inserts.inc();
+        _reinserts.inc();
         return;
     }
 
@@ -89,6 +92,8 @@ NCache::insert(Addr addr, bool is_header)
             std::uint32_t(_rng.uniformInt(0, _assoc - 1));
         slot = &_lines[std::size_t(set) * _assoc + w];
         _evictions.inc();
+    } else {
+        ++_resident;
     }
     slot->valid = true;
     slot->tag = tag;
@@ -105,6 +110,9 @@ NCache::invalidate(Addr addr, std::uint32_t size)
         if (Line *l = find(a)) {
             l->valid = false;
             l->header = false;
+            _invalidations.inc();
+            ND_ASSERT(_resident > 0);
+            --_resident;
         }
     }
 }

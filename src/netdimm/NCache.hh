@@ -66,11 +66,21 @@ class NCache
 
     std::uint32_t lines() const { return _sets * _assoc; }
 
+    /** Valid lines resident right now; never exceeds lines(). */
+    std::uint32_t occupancy() const { return _resident; }
+
     // -- statistics ----------------------------------------------------
     std::uint64_t hits() const { return _hits.value(); }
     std::uint64_t misses() const { return _misses.value(); }
     std::uint64_t inserts() const { return _inserts.value(); }
     std::uint64_t evictions() const { return _evictions.value(); }
+    /** insert() calls that refreshed an already-resident line. */
+    std::uint64_t reinserts() const { return _reinserts.value(); }
+    /** Lines dropped by write snooping. */
+    std::uint64_t invalidations() const
+    {
+        return _invalidations.value();
+    }
 
   private:
     struct Line
@@ -82,10 +92,12 @@ class NCache
 
     std::uint32_t _sets;
     std::uint32_t _assoc;
+    std::uint32_t _resident = 0;
     std::vector<Line> _lines;
     Random _rng;
 
     stats::Scalar _hits, _misses, _inserts, _evictions;
+    stats::Scalar _reinserts, _invalidations;
 
     std::uint32_t setIndex(Addr addr) const;
     Line *find(Addr addr);

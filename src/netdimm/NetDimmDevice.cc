@@ -29,6 +29,17 @@ NetDimmDevice::NetDimmDevice(EventQueue &eq, std::string name,
         eq, this->name() + ".rowclone", *_localMc, cfg.netdimm.rowClone);
     _txRing.init(0, cfg.nicModel.ringEntries);
     _rxRing.init(0, cfg.nicModel.ringEntries);
+    if (cfg.handler.enabled) {
+        _handlers = std::make_unique<HandlerStage>(
+            eq, this->name() + ".handlers", cfg, *_localMc,
+            localBytes());
+        _handlers->setTx([this](const PacketPtr &resp) {
+            ND_ASSERT(_wire);
+            _wire(resp);
+        });
+        _handlers->setHostRx(
+            [this](const PacketPtr &pkt) { hostDeliver(pkt); });
+    }
 }
 
 std::uint64_t
@@ -280,6 +291,17 @@ NetDimmDevice::deliver(const PacketPtr &pkt)
         _rxDrops.inc();
         return;
     }
+    // The handler stage classifies at line rate in the nNIC parser;
+    // a matched frame with a free run-queue slot never touches the
+    // host RX ring. Overflow and non-matching frames fall through.
+    if (_handlers && _handlers->offer(pkt))
+        return;
+    hostDeliver(pkt);
+}
+
+void
+NetDimmDevice::hostDeliver(const PacketPtr &pkt)
+{
     if (_rxRing.empty()) {
         _rxDrops.inc();
         return;

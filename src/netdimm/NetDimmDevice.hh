@@ -29,6 +29,7 @@
 
 #include <functional>
 
+#include "handler/HandlerStage.hh"
 #include "mem/RowClone.hh"
 #include "net/Link.hh"
 #include "net/Packet.hh"
@@ -148,6 +149,8 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
     MemoryController &localMc() { return *_localMc; }
     NCache &ncache() { return _ncache; }
     RowCloneEngine &rowCloneEngine() { return *_rowClone; }
+    /** Null unless cfg.handler.enabled. */
+    HandlerStage *handlers() { return _handlers.get(); }
 
     std::uint64_t txFrames() const { return _txFrames.value(); }
     std::uint64_t rxFrames() const { return _rxFrames.value(); }
@@ -163,6 +166,7 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
     std::unique_ptr<MemoryController> _localMc;
     NCache _ncache;
     std::unique_ptr<RowCloneEngine> _rowClone;
+    std::unique_ptr<HandlerStage> _handlers;
     DescriptorRing _txRing;
     DescriptorRing _rxRing;
     Addr _regionBase = 0;
@@ -191,6 +195,9 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
                    MemRequest::Completion done);
     void mediaWrite(const MemRequestPtr &req,
                     MemRequest::Completion done);
+
+    /** Host RX path: ring pop + DMA into local DRAM + notify. */
+    void hostDeliver(const PacketPtr &pkt);
 };
 
 } // namespace netdimm

@@ -141,6 +141,30 @@ struct DramGeometry
     std::uint64_t totalBytes() const { return channelBytes() * channels; }
 };
 
+/**
+ * How a controller arbitrates the data bus between host-class beats
+ * (CPU, DMA, nNIC, clone, prefetch) and handler-class beats issued by
+ * the near-memory packet handler stage. Only consulted while handler
+ * beats are queued; host-only traffic always takes the legacy
+ * FR-FCFS path.
+ */
+enum class MemArbPolicy : std::uint8_t
+{
+    /** Any ready host beat wins over any ready handler beat. */
+    HostPriority,
+    /** Strict alternation while both classes have ready beats. */
+    Fair,
+    /**
+     * Handler beats may hold at most handlerBusShare of the data-bus
+     * time since tick 0; over budget they are masked until the
+     * running share decays back under the cap.
+     */
+    StaticCap,
+};
+
+/** @return a short display name for campaign tables. */
+const char *arbPolicyName(MemArbPolicy p);
+
 /** Memory controller queueing model. */
 struct MemCtrlConfig
 {
@@ -152,6 +176,10 @@ struct MemCtrlConfig
     Tick backendLatency = nsToTicks(6);
     /** Write queue high watermark triggering draining. */
     double writeDrainFraction = 0.75;
+    /** Host vs handler data-bus arbitration (CHoNDA-style). */
+    MemArbPolicy handlerArb = MemArbPolicy::HostPriority;
+    /** StaticCap: handler share of bus time, clamped to [0.01, 1]. */
+    double handlerBusShare = 0.5;
 };
 
 /**
@@ -316,6 +344,39 @@ struct NetDimmConfig
      */
     bool subArrayHint = true;
     RowCloneConfig rowClone{};
+};
+
+/**
+ * Near-memory packet handler stage (src/handler): a pool of wimpy
+ * in-order cores on the buffer device running registered per-packet
+ * kernels (PsPIN-style), fed by a match table in the nNIC RX path.
+ * Cycle counts are charged at the handler-core clock; DRAM accesses
+ * go through the local nMC tagged MemSource::Handler so they
+ * arbitrate against concurrent host traffic (MemArbPolicy).
+ */
+struct HandlerConfig
+{
+    /** Master switch; when false NetDimmDevice builds no stage. */
+    bool enabled = false;
+    /** Handler cores in the buffer device. */
+    std::uint32_t cores = 2;
+    /** Handler-core clock (wimpy RISC cores, not host cores). */
+    double freqGhz = 1.2;
+    /** Bounded run queue; overflow falls back to host delivery. */
+    std::uint32_t runQueueDepth = 16;
+    /** Match + schedule cost per accepted packet, in cycles. */
+    std::uint64_t dispatchCycles = 40;
+    /** filter/drop kernel body, in cycles. */
+    std::uint64_t filterCycles = 30;
+    /** counter-aggregation body (plus one 64B RMW via nMC). */
+    std::uint64_t counterCycles = 60;
+    /** KV GET/PUT body (plus bucket + value accesses via nMC). */
+    std::uint64_t kvCycles = 120;
+
+    /** Ticks per handler-core cycle. */
+    Tick cyclePeriod() const { return netdimm::cyclePeriod(freqGhz); }
+    /** Convert a cycle count into ticks. */
+    Tick cycles(std::uint64_t n) const { return n * cyclePeriod(); }
 };
 
 /** Parameters shared by the NIC hardware models. */
@@ -486,6 +547,7 @@ struct SystemConfig
     EthConfig eth{};
     TransportConfig transport{};
     NetDimmConfig netdimm{};
+    HandlerConfig handler{};
     NicModelConfig nicModel{};
     SoftwareConfig sw{};
     NicKind nic = NicKind::Discrete;

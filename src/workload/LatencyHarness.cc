@@ -33,6 +33,7 @@ LatencyHarness::run(std::uint32_t bytes, int npkts, int warmup) const
     b.setReceiveHandler([&](const PacketPtr &pkt, Tick) {
         if (sent > warmup) {
             ++res.packets;
+            res.latency.sample(pkt->oneWayLatency());
             res.totalUs += ticksToUs(pkt->oneWayLatency());
             res.pcieUs += ticksToUs(pkt->pcieTicks);
             for (std::size_t c = 0; c < numLatComps; ++c) {

@@ -13,6 +13,8 @@
 
 #include <array>
 
+#include "harness/LatencyHistogram.hh"
+
 #include "kernel/Node.hh"
 #include "net/Link.hh"
 #include "sim/SystemConfig.hh"
@@ -31,6 +33,10 @@ struct PingResult
     /** Mean PCIe share, microseconds (pcie.overh in Fig. 4). */
     double pcieUs = 0.0;
     int packets = 0;
+    /** Per-packet one-way latency population, in ticks: percentile
+     *  reads for the tail sections (mean stays the exact average
+     *  above, byte-identical to the pre-histogram harness). */
+    LatencyHistogram latency;
 
     /** PCIe fraction of the total in [0,1]. */
     double

@@ -14,6 +14,16 @@ MemLatencyProbe::MemLatencyProbe(EventQueue &eq, std::string name,
         _buffer.push_back(_node.allocWorkloadPage());
 }
 
+MemLatencyProbe::MemLatencyProbe(EventQueue &eq, std::string name,
+                                 Node &node, std::vector<Addr> pages,
+                                 Tick think)
+    : SimObject(eq, std::move(name)), _node(node), _think(think),
+      _buffer(std::move(pages)),
+      _rng(node.config().seed ^ 0xABCDEF12345ull)
+{
+    ND_ASSERT(!_buffer.empty());
+}
+
 void
 MemLatencyProbe::start()
 {

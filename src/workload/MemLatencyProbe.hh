@@ -34,6 +34,15 @@ class MemLatencyProbe : public SimObject
                     Tick think = nsToTicks(20),
                     std::uint32_t buffer_pages = 384);
 
+    /**
+     * Probe an explicit page list instead of freshly allocated
+     * ZONE_NORMAL pages — e.g. pages inside the NetDIMM window, so
+     * the dependent loads ride the same local memory controller the
+     * near-memory handlers use.
+     */
+    MemLatencyProbe(EventQueue &eq, std::string name, Node &node,
+                    std::vector<Addr> pages, Tick think = nsToTicks(20));
+
     void start();
     void stop() { _running = false; }
 

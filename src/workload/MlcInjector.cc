@@ -17,6 +17,16 @@ MlcInjector::MlcInjector(EventQueue &eq, std::string name, Node &node,
         _buffer.push_back(_node.allocWorkloadPage());
 }
 
+MlcInjector::MlcInjector(EventQueue &eq, std::string name, Node &node,
+                         Tick inject_delay, std::vector<Addr> pages,
+                         std::uint32_t max_outstanding)
+    : SimObject(eq, std::move(name)), _node(node), _delay(inject_delay),
+      _pages(std::uint32_t(pages.size() / 2)),
+      _maxOutstanding(max_outstanding), _buffer(std::move(pages))
+{
+    ND_ASSERT(_pages > 0 && _buffer.size() == 2 * std::size_t(_pages));
+}
+
 void
 MlcInjector::start()
 {

@@ -35,6 +35,15 @@ class MlcInjector : public SimObject
                 Tick inject_delay, std::uint32_t buffer_pages = 4096,
                 std::uint32_t max_outstanding = 16);
 
+    /**
+     * Inject over an explicit page list (first half read-walked,
+     * second half write-walked; size must be even) — e.g. pages in
+     * the NetDIMM window to pressure the local memory controller.
+     */
+    MlcInjector(EventQueue &eq, std::string name, Node &node,
+                Tick inject_delay, std::vector<Addr> pages,
+                std::uint32_t max_outstanding = 16);
+
     /** Begin injecting at the current tick. */
     void start();
     /** Stop scheduling further injections. */

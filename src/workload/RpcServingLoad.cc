@@ -1,0 +1,295 @@
+#include "workload/RpcServingLoad.hh"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "kernel/Node.hh"
+#include "net/Link.hh"
+#include "sim/Random.hh"
+#include "workload/MemLatencyProbe.hh"
+#include "workload/MlcInjector.hh"
+
+namespace netdimm
+{
+
+const char *
+placementName(ServingPlacement p)
+{
+    switch (p) {
+    case ServingPlacement::Dnic:
+        return "dNIC";
+    case ServingPlacement::Inic:
+        return "iNIC";
+    case ServingPlacement::NetDimmHost:
+        return "NetDIMM";
+    case ServingPlacement::NetDimmHandlers:
+        return "NetDIMM+h";
+    }
+    return "?";
+}
+
+ServingResult
+runServing(const SystemConfig &base, const ServingParams &p)
+{
+    ND_ASSERT(p.qps > 0 && p.valueBytes >= 1 &&
+              p.valueBytes <= pageBytes && p.appWorkers >= 1 &&
+              p.kvPages >= 1);
+
+    SystemConfig cfg = base;
+    switch (p.placement) {
+    case ServingPlacement::Dnic:
+        cfg.nic = NicKind::Discrete;
+        break;
+    case ServingPlacement::Inic:
+        cfg.nic = NicKind::Integrated;
+        break;
+    case ServingPlacement::NetDimmHost:
+        cfg.nic = NicKind::NetDimm;
+        break;
+    case ServingPlacement::NetDimmHandlers:
+        cfg.nic = NicKind::NetDimm;
+        cfg.handler.enabled = true;
+        cfg.memCtrl.handlerArb = p.arb;
+        cfg.memCtrl.handlerBusShare = p.handlerShare;
+        break;
+    }
+
+    EventQueue eq;
+    Node client(eq, "client", cfg, 0);
+    Node server(eq, "server", cfg, 1);
+    EthLink link(eq, "link", cfg.eth);
+    link.connect(client.endpoint(), server.endpoint());
+    client.connectTo(link);
+    server.connectTo(link);
+
+    bool offload = p.placement == ServingPlacement::NetDimmHandlers &&
+                   !p.emptyMatchTable;
+    if (offload) {
+        HandlerStage *hs = server.netdimm()->handlers();
+        ND_ASSERT(hs);
+        hs->configureKv(/*buckets=*/1u << 14, /*slots=*/1u << 14,
+                        p.valueBytes);
+        hs->table().add(MatchRule::onOp(RpcOp::Get, "kv"));
+        hs->table().add(MatchRule::onOp(RpcOp::Put, "kv"));
+    }
+
+    // Host-side KV working set (ZONE_NORMAL): the store the host
+    // workers hit; on the handler placement only overflow traffic
+    // lands here.
+    std::vector<Addr> kvPages;
+    kvPages.reserve(p.kvPages);
+    for (std::uint32_t i = 0; i < p.kvPages; ++i)
+        kvPages.push_back(server.allocWorkloadPage());
+    const std::uint32_t valueStride =
+        (p.valueBytes + cachelineBytes - 1) / cachelineBytes *
+        cachelineBytes;
+    const std::uint32_t slotsPerPage = pageBytes / valueStride;
+    const std::uint32_t linesPerPage = pageBytes / cachelineBytes;
+
+    ServingResult res;
+
+    // -- server application: bounded worker pool -----------------------
+    // One struct behind one pointer keeps every event capture small
+    // (the memory-completion InlineFunction holds 80 bytes).
+    struct ServerApp
+    {
+        EventQueue &eq;
+        Node &server;
+        std::uint32_t clientId;
+        const ServingParams &p;
+        const SystemConfig &cfg;
+        ServingResult &res;
+        const std::vector<Addr> &kvPages;
+        std::uint32_t valueStride;
+        std::uint32_t slotsPerPage;
+        std::uint32_t linesPerPage;
+
+        std::deque<PacketPtr> q;
+        std::uint32_t busy = 0;
+
+        void
+        onRx(const PacketPtr &pkt)
+        {
+            if (pkt->rpcOp != RpcOp::Get && pkt->rpcOp != RpcOp::Put)
+                return;
+            q.push_back(pkt);
+            trySrv();
+        }
+
+        void
+        trySrv()
+        {
+            while (busy < p.appWorkers && !q.empty()) {
+                PacketPtr req = q.front();
+                q.pop_front();
+                ++busy;
+                service(req);
+            }
+        }
+
+        void
+        service(const PacketPtr &req)
+        {
+            // Hash-bucket probe, then the value itself, then compute;
+            // same shape as the on-DIMM kernel but through the host
+            // LLC and channel controllers.
+            std::uint64_t h = handlerHash(req->rpcKey);
+            Addr bucket = kvPages[std::size_t(h % kvPages.size())] +
+                          ((h >> 8) % linesPerPage) * cachelineBytes;
+            server.cpuAccess(bucket, cachelineBytes, false,
+                             [this, req, h](Tick) {
+                                 valueAccess(req, h);
+                             });
+        }
+
+        void
+        valueAccess(const PacketPtr &req, std::uint64_t h)
+        {
+            Addr val =
+                kvPages[std::size_t((h >> 16) % kvPages.size())] +
+                ((h >> 24) % slotsPerPage) * valueStride;
+            bool put = req->rpcOp == RpcOp::Put;
+            server.cpuAccess(val, p.valueBytes, put,
+                             [this, req](Tick) { compute(req); });
+        }
+
+        void
+        compute(const PacketPtr &req)
+        {
+            eq.scheduleRel(cfg.cpu.cycles(p.appServiceCycles),
+                           [this, req] { finish(req); });
+        }
+
+        void
+        finish(const PacketPtr &req)
+        {
+            std::uint32_t bytes =
+                req->rpcOp == RpcOp::Get
+                    ? std::max<std::uint32_t>(p.valueBytes, 64)
+                    : 64;
+            PacketPtr rsp =
+                server.makeTxPacket(bytes, clientId, req->flowId);
+            rsp->rpcOp = RpcOp::Resp;
+            rsp->rpcKey = req->rpcKey;
+            server.sendPacket(rsp);
+            ++res.hostServed;
+            --busy;
+            trySrv();
+        }
+    };
+
+    ServerApp app{eq,           server,       client.id(), p,
+                  cfg,          res,          kvPages,     valueStride,
+                  slotsPerPage, linesPerPage, {},          0};
+
+    server.setReceiveHandler(
+        [&app](const PacketPtr &pkt, Tick) { app.onRx(pkt); });
+
+    // -- client: open-loop Poisson arrivals ----------------------------
+    const std::uint64_t total = p.requests + p.warmup;
+    const double meanGapTicks = double(tickPerSec) / p.qps;
+    Random arrivals(cfg.seed ^ 0x5E12F1A6ull);
+    Random ops(cfg.seed ^ 0x0A9B3C5Dull);
+    std::unordered_map<std::uint64_t, Tick> inFlight;
+    inFlight.reserve(256);
+
+    std::function<void()> fire = [&] {
+        if (res.sent >= total)
+            return;
+        std::uint64_t key = ++res.sent; // rpcKey = 1-based send index
+        bool get = ops.uniformDouble() < p.getFraction;
+        std::uint32_t bytes =
+            get ? 64 : std::max<std::uint32_t>(p.valueBytes, 64);
+        PacketPtr req =
+            client.makeTxPacket(bytes, server.id(), /*flow=*/1);
+        req->rpcOp = get ? RpcOp::Get : RpcOp::Put;
+        req->rpcKey = key;
+        inFlight.emplace(key, eq.curTick());
+        client.sendPacket(req);
+        eq.scheduleRel(Tick(arrivals.exponential(meanGapTicks)),
+                       [&] { fire(); });
+    };
+
+    client.setReceiveHandler([&](const PacketPtr &pkt, Tick now) {
+        if (pkt->rpcOp != RpcOp::Resp)
+            return;
+        auto it = inFlight.find(pkt->rpcKey);
+        if (it == inFlight.end())
+            return;
+        ++res.completed;
+        if (pkt->rpcKey > p.warmup)
+            res.rtt.sample(now - it->second);
+        inFlight.erase(it);
+    });
+
+    // -- interference co-runners over the NetDIMM window ---------------
+    // Both run the middle 60% of the cell so ramp-up and drain don't
+    // dilute the contention signal; the stop events bound their event
+    // chains, so the queue still drains. Pages sit in the middle of
+    // the local DRAM: above the rings and RX buffers at the bottom,
+    // below the handler KV carve at the top. No warm-up on purpose —
+    // the cold LLC makes essentially every access a local-MC round
+    // trip, which is the contention being measured.
+    const Tick span = Tick(double(total) / p.qps * tickPerSec);
+    std::unique_ptr<MemLatencyProbe> probe;
+    if (p.probe && server.netdimm()) {
+        NetDimmDevice *nd = server.netdimm();
+        std::vector<Addr> pages;
+        pages.reserve(p.probePages);
+        Addr first = nd->regionBase() + nd->localBytes() / 4;
+        for (std::uint32_t i = 0; i < p.probePages; ++i)
+            pages.push_back(first + Addr(i) * pageBytes);
+        probe = std::make_unique<MemLatencyProbe>(
+            eq, "probe", server, std::move(pages),
+            nsToTicks(p.probeThinkNs));
+        MemLatencyProbe *pr = probe.get();
+        eq.schedule(span / 5, [pr] {
+            pr->start();
+            pr->resetStats();
+        });
+        eq.schedule(span * 4 / 5, [pr] { pr->stop(); });
+    }
+    std::unique_ptr<MlcInjector> mlc;
+    if (p.mlc && server.netdimm()) {
+        NetDimmDevice *nd = server.netdimm();
+        std::vector<Addr> pages;
+        pages.reserve(2 * std::size_t(p.mlcPages));
+        Addr first = nd->regionBase() + nd->localBytes() / 2;
+        for (std::uint32_t i = 0; i < 2 * p.mlcPages; ++i)
+            pages.push_back(first + Addr(i) * pageBytes);
+        mlc = std::make_unique<MlcInjector>(
+            eq, "mlc", server, /*inject_delay=*/0, std::move(pages),
+            /*max_outstanding=*/64);
+        MlcInjector *inj = mlc.get();
+        eq.schedule(span / 5, [inj] { inj->start(); });
+        // Snapshot achieved bandwidth at stop time, while the window
+        // is still the denominator.
+        eq.schedule(span * 4 / 5, [inj, &res] {
+            res.mlcGBps = inj->achievedGBps();
+            inj->stop();
+        });
+    }
+
+    fire();
+    eq.run();
+
+    if (probe) {
+        res.probeMeanNs = probe->meanLatencyNs();
+        res.probeAccesses = probe->accesses();
+    }
+
+    res.lost = res.sent - res.completed;
+    res.simulatedUs = ticksToUs(eq.curTick());
+    if (NetDimmDevice *nd = server.netdimm()) {
+        res.handlerBusFraction = nd->localMc().handlerBusFraction();
+        if (HandlerStage *hs = nd->handlers()) {
+            res.handlerServed = hs->replies();
+            res.handlerOverflows = hs->overflows();
+        }
+    }
+    return res;
+}
+
+} // namespace netdimm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Open-loop KV-serving load generator: the tail-latency experiment
+ * behind bench/serving_kv.
+ *
+ * A client node fires GET/PUT requests at a server node with Poisson
+ * (exponential inter-arrival) timing at a configured QPS — open-loop,
+ * so arrivals never wait for completions and queueing delay shows up
+ * in the measured tail instead of being absorbed by the generator.
+ *
+ * The server side depends on placement:
+ *
+ *  - Dnic / Inic / NetDimmHost: requests traverse the full RX path
+ *    into host memory, then a bounded pool of application workers
+ *    services each request (hash-bucket read + value read/write via
+ *    cpuAccess, plus a fixed compute cost) and transmits the reply
+ *    through the normal TX path.
+ *  - NetDimmHandlers: the NetDIMM handler stage intercepts matched
+ *    GET/PUT frames in the nNIC parser and serves them from local
+ *    DRAM on the wimpy handler cores; run-queue overflow falls back
+ *    to the same host worker pool.
+ *
+ * Every request carries a unique rpcKey, so the client correlates
+ * replies exactly and records per-request RTT in a LatencyHistogram
+ * (ticks). The whole cell is deterministic for a given params struct:
+ * results merge and print byte-identically at any --jobs.
+ */
+
+#ifndef NETDIMM_WORKLOAD_RPCSERVINGLOAD_HH
+#define NETDIMM_WORKLOAD_RPCSERVINGLOAD_HH
+
+#include <cstdint>
+
+#include "harness/LatencyHistogram.hh"
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+/** Where request processing happens (the Fig. 4 axis + handlers). */
+enum class ServingPlacement : std::uint8_t
+{
+    Dnic,           ///< discrete PCIe NIC, host processing
+    Inic,           ///< integrated NIC, host processing
+    NetDimmHost,    ///< NetDIMM RX path, host processing
+    NetDimmHandlers ///< NetDIMM with near-memory handler offload
+};
+
+const char *placementName(ServingPlacement p);
+
+/** One serving cell's knobs. */
+struct ServingParams
+{
+    ServingPlacement placement = ServingPlacement::NetDimmHost;
+    /** Offered load, requests per second (open loop). */
+    double qps = 1e6;
+    /** Measured requests (after warmup). */
+    std::uint64_t requests = 2000;
+    /** Leading requests excluded from the histogram. */
+    std::uint64_t warmup = 200;
+    /** KV value size; also the GET reply payload. */
+    std::uint32_t valueBytes = 256;
+    /** Fraction of requests that are GETs (rest are PUTs). */
+    double getFraction = 0.9;
+
+    // -- handler placement only ---------------------------------------
+    /** nMC arbitration between handler and host/nNIC traffic. */
+    MemArbPolicy arb = MemArbPolicy::HostPriority;
+    /** Handler bus share under MemArbPolicy::StaticCap. */
+    double handlerShare = 0.5;
+    /**
+     * Leave the match table empty: the stage is built but classifies
+     * nothing, so every frame takes the plain host path. Used by the
+     * zero-handler golden check (must be byte-identical to
+     * NetDimmHost).
+     */
+    bool emptyMatchTable = false;
+
+    // -- host application model ---------------------------------------
+    /** Concurrent application workers on the server. */
+    std::uint32_t appWorkers = 2;
+    /** Per-request compute cost, core cycles at the host clock. */
+    std::uint64_t appServiceCycles = 6000;
+    /** Host-side KV working set, pages. */
+    std::uint32_t kvPages = 64;
+
+    // -- interference probe (NetDIMM placements only) ------------------
+    /**
+     * Run a dependent-load latency probe on the server against pages
+     * inside the NetDIMM window for the middle 60% of the cell, so
+     * host reads and handler DRAM traffic contend on the local
+     * memory controller under the configured arbitration policy.
+     */
+    /** Probe working set; default exceeds the LLC so dependent
+     *  loads actually reach the local memory controller. */
+    bool probe = false;
+    std::uint32_t probePages = 1024;
+    double probeThinkNs = 100.0;
+    /**
+     * Also run an MLC-style bandwidth injector over NetDIMM-window
+     * pages for the same middle window: sustained host-class load on
+     * the local MC, so the arbitration policy visibly shifts both
+     * the injector's achieved bandwidth and the handler tail.
+     */
+    /** Per stream (read + write); 2 x 1024 pages = 8 MB, four times
+     *  the LLC, so the injector streams mostly miss. */
+    bool mlc = false;
+    std::uint32_t mlcPages = 1024;
+};
+
+/** What one serving cell measured. */
+struct ServingResult
+{
+    /** Per-request RTT, in ticks. */
+    LatencyHistogram rtt;
+    std::uint64_t sent = 0;
+    std::uint64_t completed = 0; ///< replies received (incl. warmup)
+    /** Requests whose reply never arrived (drops along the path). */
+    std::uint64_t lost = 0;
+    /** Requests served by handler cores (handler placement only). */
+    std::uint64_t handlerServed = 0;
+    /** Handler run-queue overflows that fell back to the host. */
+    std::uint64_t handlerOverflows = 0;
+    /** Requests served by the host worker pool. */
+    std::uint64_t hostServed = 0;
+    /** Fraction of local-MC bus time consumed by handler beats. */
+    double handlerBusFraction = 0.0;
+    /** Wall-clock the cell simulated, microseconds. */
+    double simulatedUs = 0.0;
+    /** Interference probe: mean dependent-load latency, ns. */
+    double probeMeanNs = 0.0;
+    /** Interference probe: completed accesses. */
+    std::uint64_t probeAccesses = 0;
+    /** Bandwidth injector: achieved GB/s over its window. */
+    double mlcGBps = 0.0;
+};
+
+/** Build a two-node serving cell from @p base and run it. */
+ServingResult runServing(const SystemConfig &base,
+                         const ServingParams &p);
+
+} // namespace netdimm
+
+#endif // NETDIMM_WORKLOAD_RPCSERVINGLOAD_HH

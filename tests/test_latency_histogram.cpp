@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for the shared log-binned latency histogram: exactness
+ * in the linear region, the relative-error bound above it, merge and
+ * digest determinism, and the SLO fraction estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "harness/LatencyHistogram.hh"
+#include "sim/Random.hh"
+
+using namespace netdimm;
+
+TEST(LatencyHistogram, EmptyIsInert)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.minValue(), 0u);
+    EXPECT_EQ(h.maxValue(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(10.0), 0.0);
+}
+
+TEST(LatencyHistogram, ExactBelowLinearRange)
+{
+    // With subBits = 7 every value below 128 gets its own bucket, so
+    // percentiles over small values carry no binning error at all.
+    LatencyHistogram h(7);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.minValue(), 1u);
+    EXPECT_EQ(h.maxValue(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    // Rank-based: p50 of 1..100 is the 50th sample.
+    EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+}
+
+TEST(LatencyHistogram, RelativeErrorBoundHolds)
+{
+    // Single large values read back within 2^-(subBits-1) relative
+    // error across several octaves.
+    for (std::uint32_t bits : {4u, 7u, 10u}) {
+        double bound = std::pow(2.0, -double(bits - 1));
+        for (std::uint64_t v :
+             {std::uint64_t(1) << 10, std::uint64_t(12345678),
+              std::uint64_t(1) << 40, std::uint64_t(987654321098ull)}) {
+            LatencyHistogram h(bits);
+            h.sample(v);
+            // min==max==v clamps single-sample reads exactly...
+            EXPECT_DOUBLE_EQ(h.percentile(0.5), double(v));
+            // ...so probe the bucket resolution with a spread pair.
+            LatencyHistogram g(bits);
+            g.sample(v);
+            g.sample(v * 2);
+            double p25 = g.percentile(0.25);
+            EXPECT_LE(std::abs(p25 - double(v)) / double(v),
+                      bound + 1e-12)
+                << "bits=" << bits << " v=" << v;
+        }
+    }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedPopulation)
+{
+    Random rng(12345);
+    LatencyHistogram a, b, whole;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v =
+            std::uint64_t(rng.exponential(50000.0)) + 1;
+        (i % 2 ? a : b).sample(v);
+        whole.sample(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_EQ(a.sum(), whole.sum());
+    EXPECT_EQ(a.minValue(), whole.minValue());
+    EXPECT_EQ(a.maxValue(), whole.maxValue());
+    // Bucket-for-bucket identical, not merely close:
+    EXPECT_EQ(a.digest(), whole.digest());
+    EXPECT_DOUBLE_EQ(a.percentile(0.99), whole.percentile(0.99));
+}
+
+TEST(LatencyHistogram, DigestDistinguishesPopulations)
+{
+    LatencyHistogram a, b;
+    for (std::uint64_t v : {100u, 200u, 300u}) {
+        a.sample(v);
+        b.sample(v);
+    }
+    EXPECT_EQ(a.digest(), b.digest());
+    b.sample(301);
+    EXPECT_NE(a.digest(), b.digest());
+
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.digest(), LatencyHistogram().digest());
+}
+
+TEST(LatencyHistogram, FractionAboveIsExactInLinearRange)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    // Threshold between exact buckets: strictly-above is exact.
+    EXPECT_NEAR(h.fractionAbove(90.5), 0.10, 1e-9);
+    EXPECT_NEAR(h.fractionAbove(0.0), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(100.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionAbove(1e18), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesMonotone)
+{
+    Random rng(99);
+    LatencyHistogram h;
+    for (int i = 0; i < 10000; ++i)
+        h.sample(std::uint64_t(rng.exponential(3e6)) + 100);
+    double last = 0.0;
+    for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        double p = h.percentile(q);
+        EXPECT_GE(p, last) << "q=" << q;
+        last = p;
+    }
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), double(h.minValue()));
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), double(h.maxValue()));
+}

@@ -124,3 +124,91 @@ TEST(NCache, ConsumeFreesTheWayForReuse)
     c.insert(Addr(100) * stride, false);
     EXPECT_EQ(c.evictions(), 0u);
 }
+
+// -- occupancy / eviction accounting under sustained RX pressure --------
+
+TEST(NCache, OccupancyTracksInsertsAndConsumes)
+{
+    NCache c(smallConfig(), 3);
+    EXPECT_EQ(c.occupancy(), 0u);
+    c.insert(0, true);
+    c.insert(64, false);
+    EXPECT_EQ(c.occupancy(), 2u);
+
+    // Re-inserting a resident line refreshes it without growing.
+    c.insert(0, true);
+    EXPECT_EQ(c.occupancy(), 2u);
+    EXPECT_EQ(c.reinserts(), 1u);
+
+    // Read-once consume releases the line; a miss changes nothing.
+    EXPECT_TRUE(c.consume(0).hit);
+    EXPECT_EQ(c.occupancy(), 1u);
+    EXPECT_FALSE(c.consume(0).hit);
+    EXPECT_EQ(c.occupancy(), 1u);
+
+    // Snooped writes drop residents and count as invalidations.
+    c.invalidate(64, 64);
+    EXPECT_EQ(c.occupancy(), 0u);
+    EXPECT_EQ(c.invalidations(), 1u);
+    c.invalidate(64, 64); // nothing left: no double count
+    EXPECT_EQ(c.invalidations(), 1u);
+}
+
+TEST(NCache, OccupancyNeverExceedsCapacityUnderRxPressure)
+{
+    // Sustained RX: the nController streams packet lines in far
+    // faster than the host drains them, like an incast burst landing
+    // in local DRAM. The cache must saturate, not grow.
+    NetDimmConfig cfg = smallConfig();
+    NCache c(cfg, 99);
+    const std::uint32_t cap = c.lines();
+    std::uint32_t peak = 0;
+    for (std::uint32_t i = 0; i < 8 * cap; ++i) {
+        c.insert(Addr(i) * 64, (i % 22) == 0);
+        peak = std::max(peak, c.occupancy());
+        // A slow host consumes one line for every four inserted.
+        if (i % 4 == 3)
+            c.consume(Addr(i - 2) * 64);
+    }
+    EXPECT_LE(peak, cap);
+    EXPECT_GE(peak, cap / 2);          // pressure actually filled it
+    EXPECT_GE(c.occupancy() + 1, peak); // still saturated at the end
+    EXPECT_GT(c.evictions(), 0u);
+}
+
+TEST(NCache, AccountingIdentityHoldsUnderChurn)
+{
+    // occupancy == inserts - reinserts - hits - invalidations -
+    // evictions at every step: nothing leaks, nothing double-frees.
+    NetDimmConfig cfg = smallConfig();
+    NCache c(cfg, 1234);
+    auto check = [&c] {
+        std::uint64_t freed =
+            c.reinserts() + c.hits() + c.invalidations() + c.evictions();
+        ASSERT_EQ(std::uint64_t(c.occupancy()), c.inserts() - freed);
+    };
+    std::uint64_t x = 88172645463325252ull; // xorshift64
+    for (int i = 0; i < 20000; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        Addr a = Addr(x % 4096) * 64;
+        switch (x % 5) {
+        case 0:
+        case 1:
+        case 2:
+            c.insert(a, (x & 0x100) != 0);
+            break;
+        case 3:
+            c.consume(a);
+            break;
+        default:
+            c.invalidate(a, 64 + std::uint32_t(x % 3) * 64);
+            break;
+        }
+        check();
+    }
+    EXPECT_GT(c.evictions(), 0u);
+    EXPECT_GT(c.reinserts(), 0u);
+    EXPECT_GT(c.invalidations(), 0u);
+}

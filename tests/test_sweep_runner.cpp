@@ -245,18 +245,58 @@ TEST(SweepRunner, DrainWorkerPoolsReportsPerWorkerTotals)
 
 TEST(SweepRunner, ParseSweepCli)
 {
-    const char *argv[] = {"bench", "--jobs", "3", "--short",
-                          "--reliable"};
-    SweepCli cli =
-        parseSweepCli(5, const_cast<char **>(argv));
+    // Valid: --jobs N, --short, and an allowlisted extra flag.
+    SweepCli cli;
+    std::string err;
+    ASSERT_TRUE(tryParseSweepCli({"--jobs", "3", "--short",
+                                  "--reliable"},
+                                 {"--reliable"}, cli, err))
+        << err;
     EXPECT_EQ(cli.jobs, 3u);
     EXPECT_TRUE(cli.shortMode);
     ASSERT_EQ(cli.rest.size(), 1u);
     EXPECT_EQ(cli.rest[0], "--reliable");
 
-    const char *argv2[] = {"bench"};
-    SweepCli def = parseSweepCli(1, const_cast<char **>(argv2));
+    // Defaults: no args -> hardware concurrency, long mode.
+    SweepCli def;
+    ASSERT_TRUE(tryParseSweepCli({}, {}, def, err)) << err;
     EXPECT_GE(def.jobs, 1u);
     EXPECT_FALSE(def.shortMode);
     EXPECT_TRUE(def.rest.empty());
+}
+
+TEST(SweepRunner, ParseSweepCliRejectsBadJobs)
+{
+    SweepCli cli;
+    std::string err;
+
+    EXPECT_FALSE(tryParseSweepCli({"--jobs", "0"}, {}, cli, err));
+    EXPECT_NE(err.find("--jobs"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--jobs", "-4"}, {}, cli, err));
+    EXPECT_NE(err.find("positive"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--jobs", "two"}, {}, cli, err));
+    EXPECT_NE(err.find("two"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--jobs", "3x"}, {}, cli, err));
+
+    EXPECT_FALSE(tryParseSweepCli({"--jobs"}, {}, cli, err));
+    EXPECT_NE(err.find("requires a value"), std::string::npos);
+}
+
+TEST(SweepRunner, ParseSweepCliRejectsUnknownFlags)
+{
+    SweepCli cli;
+    std::string err;
+
+    EXPECT_FALSE(tryParseSweepCli({"--bogus"}, {}, cli, err));
+    EXPECT_NE(err.find("--bogus"), std::string::npos);
+
+    // Extra flags are an allowlist, not a prefix match.
+    EXPECT_FALSE(tryParseSweepCli({"--reliable2"}, {"--reliable"},
+                                  cli, err));
+
+    // Stray positional arguments are rejected too.
+    EXPECT_FALSE(tryParseSweepCli({"12"}, {}, cli, err));
 }
