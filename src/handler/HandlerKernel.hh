@@ -41,6 +41,13 @@ struct HandlerResult
     HandlerVerdict verdict = HandlerVerdict::Deliver;
     /** Reply frame payload size (Reply verdict only). */
     std::uint32_t replyBytes = 0;
+    /**
+     * Deliver verdict only: the kernel detected corrupt on-DIMM data
+     * (checksum verify failed), NACKed the lookup and is bouncing the
+     * request to the authoritative host path. The stage counts the
+     * fallback and books the fault recovered.
+     */
+    bool corruptNack = false;
 };
 
 /**
@@ -119,6 +126,31 @@ class HandlerEnv
                (handlerHash(flow) % _counterSlots) * cachelineBytes;
     }
 
+    // -- fault injection (set by HandlerStage::setFaultInjection) -----
+    void
+    setFaults(FaultDomain *dom, double kv_corrupt_prob)
+    {
+        _faults = dom;
+        _kvCorruptProb = kv_corrupt_prob;
+    }
+
+    /**
+     * One checksum-verify decision on a KV value read. Draws exactly
+     * one uniform from the handler fault domain whenever one is
+     * wired; books the injection on a hit so the registry ledger can
+     * demand a matching recovery.
+     */
+    bool
+    drawKvCorrupt()
+    {
+        if (!_faults)
+            return false;
+        bool hit = _faults->uniform() < _kvCorruptProb;
+        if (hit)
+            _faults->noteInjected();
+        return hit;
+    }
+
   private:
     EventQueue &_eq;
     MemTarget &_mem;
@@ -126,6 +158,8 @@ class HandlerEnv
     const KvLayout &_kv;
     Addr _counterBase;
     std::uint64_t _counterSlots;
+    FaultDomain *_faults = nullptr;
+    double _kvCorruptProb = 0.0;
 };
 
 /** Completion continuation a kernel invokes exactly once. */

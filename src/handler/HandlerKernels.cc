@@ -72,6 +72,11 @@ class CounterKernel : public HandlerKernel
  * read (GET) or write (PUT) the value slot. GET replies with the
  * value, PUT with a 64B ack. Every access goes through the local nMC
  * as handler-class traffic.
+ *
+ * A GET's value read runs a checksum verify against the handler
+ * fault domain: on a corrupt hit the kernel NACKs instead of
+ * replying and bounces the request to the authoritative host path
+ * (Deliver + corruptNack), where the host store serves it.
  */
 class KvKernel : public HandlerKernel
 {
@@ -95,8 +100,15 @@ class KvKernel : public HandlerKernel
                         std::uint32_t bytes = env.kv().valueBytes;
                         auto access = makeMemRequest(
                             value, bytes, put, MemSource::Handler,
-                            [put, bytes, done](Tick) {
+                            [&env, put, bytes, done](Tick) {
                                 HandlerResult r;
+                                if (!put && env.drawKvCorrupt()) {
+                                    r.verdict =
+                                        HandlerVerdict::Deliver;
+                                    r.corruptNack = true;
+                                    done(r);
+                                    return;
+                                }
                                 r.verdict = HandlerVerdict::Reply;
                                 r.replyBytes =
                                     put ? 64u : bytes;

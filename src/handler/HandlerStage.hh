@@ -19,8 +19,21 @@
  * frame takes the host path and the overflow is counted, so handler
  * offload degrades gracefully instead of dropping load.
  *
- * Everything here is deterministic: no randomness, costs from
- * HandlerConfig, addresses from packet fields (DESIGN.md §13).
+ * Reliability (DESIGN.md §14): with a fault domain wired, each
+ * invocation rolls hang (core wedges, never completes) and crash
+ * (kernel traps, frame bounces to the host) faults, and the KV
+ * kernel's GET value reads roll checksum corruption (NACK + host
+ * fallback). A handler-core watchdog mirrors PR 2's e1000 TX-hang
+ * watchdog: detect a stalled core, drain the run queue to the host,
+ * reset the core, hand its frame to the host, book the recovery.
+ * Every injected fault is recovered exactly once — crash/corrupt by
+ * the host-path fallback, hang by the watchdog reset — so campaign
+ * ledgers close. Deadline-aware admission (dropExpiredAtDispatch)
+ * sheds queued frames whose rpcDeadline cannot be met.
+ *
+ * Everything here is deterministic: no free-running randomness, costs
+ * from HandlerConfig, addresses from packet fields, fault schedules a
+ * pure function of (master seed, domain name) (DESIGN.md §13/§14).
  */
 
 #ifndef NETDIMM_HANDLER_HANDLERSTAGE_HH
@@ -79,6 +92,18 @@ class HandlerStage : public SimObject
     const KvLayout &kv() const { return _kv; }
 
     /**
+     * Wire handler fault rolls (hang / crash / KV corruption) to
+     * @p domain with probabilities and watchdog timing from @p fc.
+     * nullptr disables injection; zero-probability wiring draws from
+     * the domain's private stream but never changes behaviour, so
+     * zero-rate campaigns stay bit-identical to fault-free runs.
+     */
+    void setFaultInjection(FaultDomain *domain,
+                           const FaultModelConfig *fc);
+    /** The wired fault domain; nullptr when none. */
+    FaultDomain *faultDomain() { return _faults; }
+
+    /**
      * Classify @p pkt at RX. @return true when the stage consumed it
      * (queued on a handler core); false when no rule matched or the
      * run queue overflowed — the caller delivers to the host.
@@ -98,6 +123,34 @@ class HandlerStage : public SimObject
     std::uint64_t replies() const { return _replies.value(); }
     /** Frames the kernel bounced to the host (Deliver verdict). */
     std::uint64_t toHost() const { return _toHost.value(); }
+    /** Queued frames shed at dispatch: deadline already (or about to
+     *  be) blown, so running a kernel would be wasted work. */
+    std::uint64_t shedExpired() const { return _shedExpired.value(); }
+    /** Injected core-hang faults (invocation wedged until reset). */
+    std::uint64_t hangFaults() const { return _hangFaults.value(); }
+    /** Injected kernel-crash faults (host-path fallback). */
+    std::uint64_t crashFaults() const { return _crashFaults.value(); }
+    /** KV checksum-verify failures NACKed to the host path. */
+    std::uint64_t corruptNacks() const
+    {
+        return _corruptNacks.value();
+    }
+    /** Stalled cores the watchdog reset. */
+    std::uint64_t watchdogResets() const
+    {
+        return _watchdogResets.value();
+    }
+    /** Queued frames drained to the host by a watchdog reset. */
+    std::uint64_t drainedToHost() const
+    {
+        return _drainedToHost.value();
+    }
+    /** Frames recovered onto the host path after a handler fault
+     *  (crash aborts + corrupt NACKs + watchdog-rescued frames). */
+    std::uint64_t faultFallbacks() const
+    {
+        return _faultFallbacks.value();
+    }
     /** Peak run-queue depth observed. */
     std::uint64_t maxQueueDepth() const { return _maxQueue.value(); }
     /** Aggregate core-busy ticks (occupancy, all cores). */
@@ -112,6 +165,20 @@ class HandlerStage : public SimObject
     {
         PacketPtr pkt;
         HandlerKernel *kernel;
+    };
+
+    /** One wimpy in-order handler core. */
+    struct Core
+    {
+        bool busy = false;
+        /** Invocation wedged by an injected hang fault. */
+        bool hung = false;
+        /** Invocation trapped by an injected crash fault. */
+        bool crashed = false;
+        Tick startTick = 0;
+        PacketPtr pkt;
+        /** Bumped on watchdog reset; stale completions are ignored. */
+        std::uint64_t gen = 0;
     };
 
     /** Owned copies: the stage outlives no config references. */
@@ -131,18 +198,37 @@ class HandlerStage : public SimObject
     HostRxFn _hostRx;
 
     std::deque<Pending> _queue;
+    std::vector<Core> _cores;
     std::uint32_t _busyCores = 0;
     Tick _busyTicks = 0;
 
+    // -- fault model ---------------------------------------------------
+    FaultDomain *_faults = nullptr;
+    double _hangProb = 0.0;
+    double _crashProb = 0.0;
+    std::uint64_t _crashDetectCycles = 0;
+    Tick _stallTimeout = 0;
+    Tick _watchdogPeriod = 0;
+    bool _watchdogArmed = false;
+
     stats::Scalar _accepted, _overflows, _invocations;
     stats::Scalar _drops, _replies, _toHost, _maxQueue;
+    stats::Scalar _shedExpired, _hangFaults, _crashFaults;
+    stats::Scalar _corruptNacks, _watchdogResets, _drainedToHost;
+    stats::Scalar _faultFallbacks;
 
     /** Carve counter + KV regions from the top of local DRAM. */
     void carveRegions();
     void tryDispatch();
-    void startInvocation(Pending p);
-    void finishInvocation(const PacketPtr &pkt, HandlerResult r,
-                          Tick start);
+    void startInvocation(std::size_t core, Pending p);
+    void finishInvocation(std::size_t core, std::uint64_t gen,
+                          HandlerResult r);
+    /** Crash-fault trap: bounce the frame to the host, free core. */
+    void abortInvocation(std::size_t core, std::uint64_t gen);
+    void releaseCore(std::size_t core);
+    /** Arm / run the stall watchdog (active only under injection). */
+    void armWatchdog();
+    void watchdogTick();
 };
 
 } // namespace netdimm

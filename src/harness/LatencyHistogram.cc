@@ -158,6 +158,16 @@ LatencyHistogram::fractionAbove(double threshold) const
     return above / double(_count);
 }
 
+double
+LatencyHistogram::fractionWithinDeadline(std::uint64_t deadline) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (deadline == 0)
+        return 1.0;
+    return 1.0 - fractionAbove(double(deadline));
+}
+
 std::string
 LatencyHistogram::digest() const
 {

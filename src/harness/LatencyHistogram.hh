@@ -62,6 +62,14 @@ class LatencyHistogram
     double fractionAbove(double threshold) const;
 
     /**
+     * Fraction of samples at or below @p deadline ticks — the
+     * goodput estimator (complement of fractionAbove). A deadline of
+     * 0 means "no deadline": every sample counts. Empty histograms
+     * report 0.0.
+     */
+    double fractionWithinDeadline(std::uint64_t deadline) const;
+
+    /**
      * Compact exact digest of the population: geometry, count,
      * min/max/sum and every non-empty (bucket, count) pair. Two
      * histograms fed identical samples produce identical digests, so

@@ -86,6 +86,10 @@ Node::Node(EventQueue &eq, std::string name, const SystemConfig &cfg,
             _netdimm->rowCloneEngine().setFaultInjection(
                 &_faults->domain(this->name() + ".netdimm.rowclone"),
                 fc->rowCloneFailProb);
+            if (HandlerStage *hs = _netdimm->handlers())
+                hs->setFaultInjection(
+                    &_faults->domain(this->name() + ".netdimm.handler"),
+                    fc);
         }
     }
 
@@ -259,6 +263,13 @@ Node::printStats(std::ostream &os) const
             h.add("drops", double(hs->drops()));
             h.add("replies", double(hs->replies()));
             h.add("toHost", double(hs->toHost()));
+            h.add("shedExpired", double(hs->shedExpired()));
+            h.add("hangFaults", double(hs->hangFaults()));
+            h.add("crashFaults", double(hs->crashFaults()));
+            h.add("corruptNacks", double(hs->corruptNacks()));
+            h.add("watchdogResets", double(hs->watchdogResets()));
+            h.add("drainedToHost", double(hs->drainedToHost()));
+            h.add("faultFallbacks", double(hs->faultFallbacks()));
             h.add("maxQueueDepth", double(hs->maxQueueDepth()));
             h.add("coreUtilization", hs->coreUtilization());
             h.add("busFraction",

@@ -145,6 +145,12 @@ struct Packet
     /** Request key: correlates a response with its request and
      *  addresses the KV store (hashed). */
     std::uint64_t rpcKey = 0;
+    /**
+     * Absolute tick after which the client no longer counts the
+     * response as useful (0 = no deadline). Deadline-aware server
+     * admission drops already-dead requests instead of serving them.
+     */
+    Tick rpcDeadline = 0;
 
     /** Number of cachelines the payload spans (1..24 for <= MTU). */
     std::uint32_t

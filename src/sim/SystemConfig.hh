@@ -372,6 +372,16 @@ struct HandlerConfig
     std::uint64_t counterCycles = 60;
     /** KV GET/PUT body (plus bucket + value accesses via nMC). */
     std::uint64_t kvCycles = 120;
+    /**
+     * Deadline-aware admission at dispatch: a queued frame whose
+     * rpcDeadline will expire within dispatchMargin of now is shed
+     * (never runs a kernel; the client's retry policy owns it).
+     * Default off so deadline-less traffic is untouched.
+     */
+    bool dropExpiredAtDispatch = false;
+    /** Slack subtracted from the deadline at the dispatch check:
+     *  roughly one kernel service + reply wire time. */
+    Tick dispatchMargin = 0;
 
     /** Ticks per handler-core cycle. */
     Tick cyclePeriod() const { return netdimm::cyclePeriod(freqGhz); }
@@ -520,6 +530,26 @@ struct FaultModelConfig
     Tick txHangTimeout = usToTicks(150);
     /** Watchdog check period while TX work is outstanding. */
     Tick watchdogPeriod = usToTicks(50);
+
+    // -- handler faults (per kernel invocation / per KV GET read) ------
+    /** Core wedges mid-dispatch: the invocation never completes until
+     *  the handler-core watchdog resets the core. */
+    double handlerHangProb = 0.0;
+    /** Kernel aborts after crashDetect cycles; the frame falls back
+     *  to the host RX path (host-path recovery). */
+    double handlerCrashProb = 0.0;
+    /** KV value read fails its checksum verify: the kernel NACKs and
+     *  the frame falls back to the host path, which serves it from
+     *  the authoritative host store. */
+    double kvCorruptProb = 0.0;
+    /** Cycles until a crashing kernel traps (charged at the handler
+     *  clock before the host fallback). */
+    std::uint64_t handlerCrashDetectCycles = 200;
+    /** Busy-core age that declares a handler-core stall. Must exceed
+     *  the worst-case healthy invocation (memory-stall inclusive). */
+    Tick handlerStallTimeout = usToTicks(50);
+    /** Handler watchdog check period while any core is busy. */
+    Tick handlerWatchdogPeriod = usToTicks(20);
 };
 
 /** Which NIC architecture a node deploys (Fig. 1). */

@@ -30,6 +30,20 @@ placementName(ServingPlacement p)
     return "?";
 }
 
+const char *
+shedPolicyName(ShedPolicy s)
+{
+    switch (s) {
+    case ShedPolicy::None:
+        return "none";
+    case ShedPolicy::Tail:
+        return "tail";
+    case ShedPolicy::GetsFirst:
+        return "gets-first";
+    }
+    return "?";
+}
+
 ServingResult
 runServing(const SystemConfig &base, const ServingParams &p)
 {
@@ -53,6 +67,12 @@ runServing(const SystemConfig &base, const ServingParams &p)
         cfg.handler.enabled = true;
         cfg.memCtrl.handlerArb = p.arb;
         cfg.memCtrl.handlerBusShare = p.handlerShare;
+        // One knob arms deadline-aware shedding on both dequeue
+        // points: the host worker pool and the handler run queue.
+        if (p.dropExpiredAtDequeue) {
+            cfg.handler.dropExpiredAtDispatch = true;
+            cfg.handler.dispatchMargin = p.dequeueMargin;
+        }
         break;
     }
 
@@ -114,6 +134,27 @@ runServing(const SystemConfig &base, const ServingParams &p)
         {
             if (pkt->rpcOp != RpcOp::Get && pkt->rpcOp != RpcOp::Put)
                 return;
+            // Bounded admission: a full queue sheds instead of
+            // growing without bound (the collapse mode). GetsFirst
+            // keeps PUTs — a queued GET is evicted to make room, on
+            // the theory that a dropped read retries cheaply while a
+            // dropped write loses work.
+            if (p.admitDepth && q.size() >= p.admitDepth) {
+                if (p.shed == ShedPolicy::GetsFirst &&
+                    pkt->rpcOp == RpcOp::Put) {
+                    for (auto it = q.begin(); it != q.end(); ++it) {
+                        if ((*it)->rpcOp == RpcOp::Get) {
+                            q.erase(it);
+                            ++res.shedGets;
+                            q.push_back(pkt);
+                            trySrv();
+                            return;
+                        }
+                    }
+                }
+                ++res.shedQueueFull;
+                return; // the client's timeout machinery owns it now
+            }
             q.push_back(pkt);
             trySrv();
         }
@@ -124,6 +165,14 @@ runServing(const SystemConfig &base, const ServingParams &p)
             while (busy < p.appWorkers && !q.empty()) {
                 PacketPtr req = q.front();
                 q.pop_front();
+                // Deadline-aware dequeue: serving an already-dead
+                // request burns a worker for a reply nobody counts.
+                if (p.dropExpiredAtDequeue && req->rpcDeadline != 0 &&
+                    eq.curTick() + p.dequeueMargin >=
+                        req->rpcDeadline) {
+                    ++res.shedExpired;
+                    continue;
+                }
                 ++busy;
                 service(req);
             }
@@ -192,22 +241,111 @@ runServing(const SystemConfig &base, const ServingParams &p)
     const double meanGapTicks = double(tickPerSec) / p.qps;
     Random arrivals(cfg.seed ^ 0x5E12F1A6ull);
     Random ops(cfg.seed ^ 0x0A9B3C5Dull);
-    std::unordered_map<std::uint64_t, Tick> inFlight;
+
+    /** Client bookkeeping for one request, across retries/hedges. */
+    struct Flight
+    {
+        Tick firstSend;
+        Tick deadline; ///< absolute; 0 = none
+        std::uint32_t sends;
+        bool get;
+        bool hedged;
+    };
+    std::unordered_map<std::uint64_t, Flight> inFlight;
     inFlight.reserve(256);
+
+    // Retry backoff jitter draws from a named domain stream, so the
+    // retry schedule is a pure function of (seed, "rpc.retry") and a
+    // zero-retry cell draws nothing at all.
+    FaultDomain retryJitter("rpc.retry", cfg.seed);
+    const Tick baseTimeout =
+        p.retryTimeout          ? p.retryTimeout
+        : p.deadline            ? 2 * p.deadline
+                                : usToTicks(20);
+
+    auto sendReq = [&client, &server, &p](std::uint64_t key,
+                                          const Flight &f) {
+        std::uint32_t bytes =
+            f.get ? 64 : std::max<std::uint32_t>(p.valueBytes, 64);
+        PacketPtr req =
+            client.makeTxPacket(bytes, server.id(), /*flow=*/1);
+        req->rpcOp = f.get ? RpcOp::Get : RpcOp::Put;
+        req->rpcKey = key;
+        req->rpcDeadline = f.deadline;
+        client.sendPacket(req);
+    };
+
+    // Timeout for send #send_no (1-based): exponential backoff with
+    // deterministic +/- jitter. Stale firings (reply arrived, or a
+    // newer send took over) are no-ops.
+    std::function<void(std::uint64_t, std::uint32_t)> armTimeout =
+        [&](std::uint64_t key, std::uint32_t send_no) {
+            double j = 1.0;
+            if (p.retryJitterFrac > 0.0)
+                j = 1.0 + p.retryJitterFrac *
+                              (2.0 * retryJitter.uniform() - 1.0);
+            Tick to =
+                Tick(double(baseTimeout << (send_no - 1)) * j);
+            eq.scheduleRel(to, [&, key, send_no] {
+                auto it = inFlight.find(key);
+                if (it == inFlight.end() ||
+                    it->second.sends != send_no)
+                    return;
+                ++res.timeouts;
+                // Deadline-aware retry: resending a request whose
+                // deadline already passed only amplifies overload
+                // (the retry is shed server-side anyway), so a dead
+                // request is abandoned instead — the anti-retry-storm
+                // half of the retry policy.
+                if (it->second.sends <= p.maxRetries &&
+                    (it->second.deadline == 0 ||
+                     eq.curTick() < it->second.deadline)) {
+                    ++it->second.sends;
+                    ++res.retries;
+                    sendReq(key, it->second);
+                    armTimeout(key, it->second.sends);
+                } else {
+                    ++res.abandoned;
+                    inFlight.erase(it);
+                }
+            });
+        };
+
+    // Hedge: race a duplicate once the request has been outstanding
+    // longer than the running p99 (tail-at-scale); first reply wins,
+    // the loser's reply finds no flight entry and is ignored.
+    auto armHedge = [&](std::uint64_t key) {
+        Tick delay = p.hedgeFloor;
+        if (res.rtt.count() >= 50)
+            delay = std::max(delay, Tick(res.rtt.percentile(0.99)));
+        eq.scheduleRel(delay, [&, key] {
+            auto it = inFlight.find(key);
+            if (it == inFlight.end() || it->second.hedged)
+                return;
+            it->second.hedged = true;
+            ++res.hedges;
+            sendReq(key, it->second);
+        });
+    };
 
     std::function<void()> fire = [&] {
         if (res.sent >= total)
             return;
         std::uint64_t key = ++res.sent; // rpcKey = 1-based send index
         bool get = ops.uniformDouble() < p.getFraction;
-        std::uint32_t bytes =
-            get ? 64 : std::max<std::uint32_t>(p.valueBytes, 64);
-        PacketPtr req =
-            client.makeTxPacket(bytes, server.id(), /*flow=*/1);
-        req->rpcOp = get ? RpcOp::Get : RpcOp::Put;
-        req->rpcKey = key;
-        inFlight.emplace(key, eq.curTick());
-        client.sendPacket(req);
+        Tick now = eq.curTick();
+        auto it = inFlight
+                      .emplace(key, Flight{now,
+                                           p.deadline
+                                               ? now + p.deadline
+                                               : 0,
+                                           1, get, false})
+                      .first;
+        sendReq(key, it->second);
+        if (p.maxRetries > 0)
+            armTimeout(key, 1);
+        if (p.hedge)
+            armHedge(key);
         eq.scheduleRel(Tick(arrivals.exponential(meanGapTicks)),
                        [&] { fire(); });
     };
@@ -219,8 +357,12 @@ runServing(const SystemConfig &base, const ServingParams &p)
         if (it == inFlight.end())
             return;
         ++res.completed;
-        if (pkt->rpcKey > p.warmup)
-            res.rtt.sample(now - it->second);
+        if (pkt->rpcKey > p.warmup) {
+            res.rtt.sample(now - it->second.firstSend);
+            if (it->second.deadline == 0 ||
+                now <= it->second.deadline)
+                ++res.goodRpcs;
+        }
         inFlight.erase(it);
     });
 
@@ -287,7 +429,20 @@ runServing(const SystemConfig &base, const ServingParams &p)
         if (HandlerStage *hs = nd->handlers()) {
             res.handlerServed = hs->replies();
             res.handlerOverflows = hs->overflows();
+            res.handlerShedExpired = hs->shedExpired();
+            res.handlerHangFaults = hs->hangFaults();
+            res.handlerCrashFaults = hs->crashFaults();
+            res.handlerCorruptNacks = hs->corruptNacks();
+            res.watchdogResets = hs->watchdogResets();
+            res.drainedToHost = hs->drainedToHost();
+            res.faultFallbacks = hs->faultFallbacks();
         }
+    }
+    if (const FaultRegistry *reg = server.faults()) {
+        res.faultsInjected = reg->injected();
+        res.faultsRecovered = reg->recovered();
+        res.faultsUnrecovered = reg->unrecovered();
+        res.ledgerClosed = reg->ledgerClosed();
     }
     return res;
 }

@@ -48,6 +48,16 @@ enum class ServingPlacement : std::uint8_t
 
 const char *placementName(ServingPlacement p);
 
+/** Host-side load-shedding policy when the admission queue is full. */
+enum class ShedPolicy : std::uint8_t
+{
+    None,     ///< unbounded FIFO admission (the PR 6 behaviour)
+    Tail,     ///< bounded queue, drop the incoming request
+    GetsFirst ///< bounded queue, evict a queued GET before a PUT
+};
+
+const char *shedPolicyName(ShedPolicy s);
+
 /** One serving cell's knobs. */
 struct ServingParams
 {
@@ -106,6 +116,40 @@ struct ServingParams
      *  the LLC, so the injector streams mostly miss. */
     bool mlc = false;
     std::uint32_t mlcPages = 1024;
+
+    // -- request reliability (DESIGN.md §14) ---------------------------
+    /**
+     * Per-RPC deadline, ticks from first send; 0 disables. With every
+     * reliability knob at its default the deadline is pure metadata —
+     * goodput is computed from the same reply stream, so zero-shed /
+     * zero-retry cells stay byte-identical to deadline-free runs.
+     */
+    Tick deadline = 0;
+    /** Client resends after timeout, at most this many times. 0
+     *  disables timeout tracking entirely (no extra events). */
+    std::uint32_t maxRetries = 0;
+    /** Base client timeout before the first retry; doubles per
+     *  attempt (exponential backoff). 0 with maxRetries > 0 defaults
+     *  to 2x the deadline budget. */
+    Tick retryTimeout = 0;
+    /** Deterministic +/- jitter fraction applied to each backoff
+     *  (drawn from a named FaultDomain stream, so the schedule is a
+     *  pure function of the config seed). */
+    double retryJitterFrac = 0.1;
+    /** Hedged requests: race a duplicate after max(hedgeFloor,
+     *  running p99) if the reply has not arrived; first reply wins. */
+    bool hedge = false;
+    Tick hedgeFloor = usToTicks(2);
+    /** Host admission-queue bound; 0 keeps the PR 6 unbounded FIFO. */
+    std::uint32_t admitDepth = 0;
+    /** What to do with the overflow when admitDepth is exceeded. */
+    ShedPolicy shed = ShedPolicy::None;
+    /** Drop requests whose deadline is already (about to be) blown at
+     *  dequeue instead of serving them late. On the handler placement
+     *  this also arms the stage's dispatch-time shed. */
+    bool dropExpiredAtDequeue = false;
+    /** Remaining-budget floor below which a dequeued request is shed. */
+    Tick dequeueMargin = 0;
 };
 
 /** What one serving cell measured. */
@@ -133,6 +177,42 @@ struct ServingResult
     std::uint64_t probeAccesses = 0;
     /** Bandwidth injector: achieved GB/s over its window. */
     double mlcGBps = 0.0;
+
+    // -- request reliability (DESIGN.md §14) ---------------------------
+    /** Measured replies that beat their deadline (all of them when no
+     *  deadline is set) — the goodput numerator. */
+    std::uint64_t goodRpcs = 0;
+    /** Client resends after timeout. */
+    std::uint64_t retries = 0;
+    /** Client timeouts fired on still-unanswered requests. */
+    std::uint64_t timeouts = 0;
+    /** Requests the client gave up on after maxRetries resends. */
+    std::uint64_t abandoned = 0;
+    /** Hedged duplicates sent. */
+    std::uint64_t hedges = 0;
+    /** Incoming requests dropped at the full host admission queue. */
+    std::uint64_t shedQueueFull = 0;
+    /** Queued GETs evicted to admit a PUT (ShedPolicy::GetsFirst). */
+    std::uint64_t shedGets = 0;
+    /** Requests shed at host dequeue: deadline already blown. */
+    std::uint64_t shedExpired = 0;
+    /** Frames shed at handler dispatch: deadline already blown. */
+    std::uint64_t handlerShedExpired = 0;
+    /** Injected handler faults, by flavour. */
+    std::uint64_t handlerHangFaults = 0;
+    std::uint64_t handlerCrashFaults = 0;
+    std::uint64_t handlerCorruptNacks = 0;
+    /** Handler-core watchdog activity. */
+    std::uint64_t watchdogResets = 0;
+    std::uint64_t drainedToHost = 0;
+    /** Frames recovered onto the host path after a handler fault. */
+    std::uint64_t faultFallbacks = 0;
+    /** Server fault-registry ledger (0/0/closed when faults are
+     *  disabled). */
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultsRecovered = 0;
+    std::uint64_t faultsUnrecovered = 0;
+    bool ledgerClosed = true;
 };
 
 /** Build a two-node serving cell from @p base and run it. */

@@ -13,6 +13,7 @@
 #include "handler/HandlerStage.hh"
 #include "mem/MemoryController.hh"
 #include "netdimm/NetDimmDevice.hh"
+#include "sim/Fault.hh"
 
 using namespace netdimm;
 
@@ -185,6 +186,191 @@ TEST(HandlerStage, RunQueueOverflowFallsBackToHost)
     f.eq.run();
     EXPECT_EQ(f.hs.invocations(), 3u);
     EXPECT_EQ(f.hs.maxQueueDepth(), 2u);
+}
+
+// -- fault injection & recovery (DESIGN.md §14) -------------------------
+
+TEST(HandlerFaults, CrashFallsBackToHostAndClosesLedger)
+{
+    Fixture f([](SystemConfig &c) {
+        c.faults.handlerCrashProb = 1.0;
+    });
+    FaultDomain dom("t.handler", 1);
+    f.hs.setFaultInjection(&dom, &f.cfg.faults);
+    f.hs.table().add(MatchRule::onOp(RpcOp::Get, "kv"));
+
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::Get, 7)));
+    f.eq.run();
+
+    // The kernel trapped: no reply, the frame bounced to the host,
+    // and the injected fault was booked recovered exactly once.
+    EXPECT_EQ(f.hs.crashFaults(), 1u);
+    EXPECT_EQ(f.hs.faultFallbacks(), 1u);
+    EXPECT_EQ(f.hs.replies(), 0u);
+    EXPECT_TRUE(f.txed.empty());
+    ASSERT_EQ(f.hosted.size(), 1u);
+    EXPECT_EQ(f.hosted[0]->rpcKey, 7u);
+    EXPECT_EQ(dom.injected(), 1u);
+    EXPECT_EQ(dom.recovered(), 1u);
+    EXPECT_TRUE(dom.ledgerClosed());
+}
+
+TEST(HandlerFaults, HangRecoveredByWatchdogWithQueueDrain)
+{
+    Fixture f([](SystemConfig &c) {
+        c.handler.cores = 1;
+        c.faults.handlerHangProb = 1.0;
+        c.faults.handlerStallTimeout = usToTicks(5);
+        c.faults.handlerWatchdogPeriod = usToTicks(2);
+    });
+    FaultDomain dom("t.handler", 1);
+    f.hs.setFaultInjection(&dom, &f.cfg.faults);
+    f.hs.table().add(MatchRule::all("filter"));
+
+    // First frame wedges the only core; the second waits behind it.
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::None, 1)));
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::None, 2)));
+    f.eq.run();
+
+    // The watchdog reset the core, rescued the wedged frame AND
+    // drained the queued one to the host — nothing is lost.
+    EXPECT_EQ(f.hs.hangFaults(), 1u);
+    EXPECT_EQ(f.hs.watchdogResets(), 1u);
+    EXPECT_EQ(f.hs.drainedToHost(), 1u);
+    EXPECT_EQ(f.hosted.size(), 2u);
+    EXPECT_EQ(dom.injected(), 1u);
+    EXPECT_EQ(dom.recovered(), 1u);
+    EXPECT_TRUE(dom.ledgerClosed());
+}
+
+TEST(HandlerFaults, KvCorruptionNacksGetsButNotPuts)
+{
+    Fixture f([](SystemConfig &c) {
+        c.faults.kvCorruptProb = 1.0;
+    });
+    FaultDomain dom("t.handler", 1);
+    f.hs.setFaultInjection(&dom, &f.cfg.faults);
+    f.hs.table().add(MatchRule::onOp(RpcOp::Get, "kv"));
+    f.hs.table().add(MatchRule::onOp(RpcOp::Put, "kv"));
+
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::Get, 1)));
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::Put, 2, 1, 256)));
+    f.eq.run();
+
+    // The GET's checksum verify failed: NACK + host fallback. The
+    // PUT never reads a value, so it replies normally.
+    EXPECT_EQ(f.hs.corruptNacks(), 1u);
+    EXPECT_EQ(f.hs.faultFallbacks(), 1u);
+    EXPECT_EQ(f.hs.replies(), 1u);
+    ASSERT_EQ(f.hosted.size(), 1u);
+    EXPECT_EQ(f.hosted[0]->rpcKey, 1u);
+    ASSERT_EQ(f.txed.size(), 1u);
+    EXPECT_EQ(f.txed[0]->rpcKey, 2u);
+    EXPECT_TRUE(dom.ledgerClosed());
+}
+
+TEST(HandlerFaults, WatchdogBeatsCrashTrapWithoutDoubleCount)
+{
+    // A crash whose trap detection is slower than the stall watchdog:
+    // the watchdog resets the core first (booking the recovery), and
+    // the late trap must see the stale generation and book NOTHING —
+    // one injection, one recovery, one fallback.
+    Fixture f([](SystemConfig &c) {
+        c.faults.handlerCrashProb = 1.0;
+        c.faults.handlerCrashDetectCycles = 1'000'000; // ~833us
+        c.faults.handlerStallTimeout = usToTicks(5);
+        c.faults.handlerWatchdogPeriod = usToTicks(2);
+    });
+    FaultDomain dom("t.handler", 1);
+    f.hs.setFaultInjection(&dom, &f.cfg.faults);
+    f.hs.table().add(MatchRule::onOp(RpcOp::Get, "kv"));
+
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::Get, 5)));
+    f.eq.run();
+
+    EXPECT_EQ(f.hs.crashFaults(), 1u);
+    EXPECT_EQ(f.hs.watchdogResets(), 1u);
+    EXPECT_EQ(f.hs.faultFallbacks(), 1u);
+    EXPECT_EQ(f.hosted.size(), 1u);
+    EXPECT_EQ(dom.injected(), 1u);
+    EXPECT_EQ(dom.recovered(), 1u); // NOT 2: the stale trap is a no-op
+    EXPECT_TRUE(dom.ledgerClosed());
+}
+
+TEST(HandlerFaults, HangAndCrashRollsInjectAtMostOneFault)
+{
+    // Both Bernoulli rolls certain: only the hang manifests, and the
+    // ledger demands exactly one recovery — the split-draw pattern
+    // must not double-book the injection.
+    Fixture f([](SystemConfig &c) {
+        c.faults.handlerHangProb = 1.0;
+        c.faults.handlerCrashProb = 1.0;
+        c.faults.handlerStallTimeout = usToTicks(5);
+        c.faults.handlerWatchdogPeriod = usToTicks(2);
+    });
+    FaultDomain dom("t.handler", 1);
+    f.hs.setFaultInjection(&dom, &f.cfg.faults);
+    f.hs.table().add(MatchRule::all("filter"));
+
+    EXPECT_TRUE(f.hs.offer(f.packet(RpcOp::None, 1)));
+    f.eq.run();
+
+    EXPECT_EQ(f.hs.hangFaults(), 1u);
+    EXPECT_EQ(f.hs.crashFaults(), 0u);
+    EXPECT_EQ(dom.injected(), 1u);
+    EXPECT_EQ(dom.recovered(), 1u);
+    EXPECT_TRUE(dom.ledgerClosed());
+}
+
+TEST(HandlerFaults, ZeroRateWiringIsByteIdentical)
+{
+    // Wiring a domain with all probabilities zero must not move a
+    // single reply by a single tick: draws come from the private
+    // stream and never change the schedule.
+    auto replyTicks = [](bool wired) {
+        Fixture f;
+        FaultDomain dom("t.handler", 1);
+        if (wired)
+            f.hs.setFaultInjection(&dom, &f.cfg.faults);
+        f.hs.table().add(MatchRule::onOp(RpcOp::Get, "kv"));
+        f.hs.table().add(MatchRule::onOp(RpcOp::Put, "kv"));
+        std::vector<std::pair<std::uint64_t, Tick>> out;
+        f.hs.setTx([&f, &out](const PacketPtr &p) {
+            out.emplace_back(p->rpcKey, f.eq.curTick());
+        });
+        for (int i = 0; i < 12; ++i)
+            f.hs.offer(f.packet(i % 3 ? RpcOp::Get : RpcOp::Put,
+                                std::uint64_t(i), std::uint64_t(i)));
+        f.eq.run();
+        EXPECT_TRUE(dom.ledgerClosed());
+        return out;
+    };
+    EXPECT_EQ(replyTicks(false), replyTicks(true));
+}
+
+TEST(HandlerStage, DispatchShedsExpiredDeadlines)
+{
+    Fixture f([](SystemConfig &c) {
+        c.handler.cores = 1;
+        c.handler.dropExpiredAtDispatch = true;
+        c.handler.dispatchMargin = 0;
+    });
+    f.hs.table().add(MatchRule::onOp(RpcOp::Get, "kv"));
+
+    // First frame occupies the core; the second is already dead when
+    // the core frees, so it must be shed without running a kernel.
+    PacketPtr live = f.packet(RpcOp::Get, 1);
+    PacketPtr dead = f.packet(RpcOp::Get, 2);
+    dead->rpcDeadline = 1; // expires at tick 1, long before dispatch
+    EXPECT_TRUE(f.hs.offer(live));
+    EXPECT_TRUE(f.hs.offer(dead));
+    f.eq.run();
+
+    EXPECT_EQ(f.hs.invocations(), 1u);
+    EXPECT_EQ(f.hs.replies(), 1u);
+    EXPECT_EQ(f.hs.shedExpired(), 1u);
+    ASSERT_EQ(f.txed.size(), 1u);
+    EXPECT_EQ(f.txed[0]->rpcKey, 1u);
 }
 
 // -- arbitration: the handler requestor class at the nMC ----------------

@@ -119,6 +119,55 @@ TEST(LatencyHistogram, FractionAboveIsExactInLinearRange)
     EXPECT_DOUBLE_EQ(h.fractionAbove(1e18), 0.0);
 }
 
+TEST(LatencyHistogram, FractionWithinDeadline)
+{
+    LatencyHistogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.sample(v);
+    // Complement of fractionAbove: within-deadline counts v <= D.
+    EXPECT_NEAR(h.fractionWithinDeadline(90), 0.90, 1e-9);
+    EXPECT_NEAR(h.fractionWithinDeadline(50), 0.50, 1e-9);
+    EXPECT_DOUBLE_EQ(h.fractionWithinDeadline(100), 1.0);
+    EXPECT_DOUBLE_EQ(h.fractionWithinDeadline(1'000'000), 1.0);
+    // Deadline 0 means "no deadline": everything qualifies.
+    EXPECT_DOUBLE_EQ(h.fractionWithinDeadline(0), 1.0);
+    // Empty histogram served nothing within any deadline.
+    LatencyHistogram e;
+    EXPECT_DOUBLE_EQ(e.fractionWithinDeadline(100), 0.0);
+    EXPECT_DOUBLE_EQ(e.fractionWithinDeadline(0), 0.0);
+}
+
+TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram h, empty;
+    for (std::uint64_t v : {10u, 20u, 4000u, 90000u})
+        h.sample(v);
+    const std::string before = h.digest();
+
+    // Populated <- empty: nothing changes, bucket-for-bucket.
+    h.merge(empty);
+    EXPECT_EQ(h.digest(), before);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.minValue(), 10u);
+    EXPECT_EQ(h.maxValue(), 90000u);
+
+    // Empty <- populated: adopts the population exactly.
+    LatencyHistogram e2;
+    e2.merge(h);
+    EXPECT_EQ(e2.digest(), before);
+    EXPECT_EQ(e2.count(), h.count());
+    EXPECT_EQ(e2.sum(), h.sum());
+    EXPECT_EQ(e2.minValue(), h.minValue());
+    EXPECT_EQ(e2.maxValue(), h.maxValue());
+
+    // Empty <- empty stays inert.
+    LatencyHistogram e3, e4;
+    e3.merge(e4);
+    EXPECT_EQ(e3.count(), 0u);
+    EXPECT_EQ(e3.digest(), LatencyHistogram().digest());
+    EXPECT_DOUBLE_EQ(e3.fractionWithinDeadline(100), 0.0);
+}
+
 TEST(LatencyHistogram, PercentilesMonotone)
 {
     Random rng(99);
