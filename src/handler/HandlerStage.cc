@@ -243,6 +243,11 @@ HandlerStage::finishInvocation(std::size_t core, std::uint64_t gen,
         resp->flowId = pkt->flowId;
         resp->rpcOp = RpcOp::Resp;
         resp->rpcKey = pkt->rpcKey;
+        // Logical KV key rides along; the version stays 0 — the
+        // handler serves from on-DIMM state and carries no
+        // replication metadata (cluster clients treat a version-0
+        // reply as unversioned).
+        resp->rpcKvKey = pkt->rpcKvKey;
         resp->born = curTick();
         // The reply leaves through the nNIC TX pipeline; no host
         // descriptor, no driver, no DMA.
@@ -255,6 +260,22 @@ HandlerStage::finishInvocation(std::size_t core, std::uint64_t gen,
     }
 
     tryDispatch();
+}
+
+void
+HandlerStage::powerCycle()
+{
+    _queue.clear();
+    for (std::size_t i = 0; i < _cores.size(); ++i) {
+        Core &c = _cores[i];
+        if (!c.busy)
+            continue;
+        bool faulted = c.hung || c.crashed;
+        releaseCore(i);
+        if (faulted && _faults)
+            _faults->noteRecovered();
+    }
+    _table.clear();
 }
 
 void

@@ -110,6 +110,17 @@ class HandlerStage : public SimObject
      */
     bool offer(const PacketPtr &pkt);
 
+    /**
+     * Whole-node power loss: queued frames and in-flight invocations
+     * vanish (no host fallback — the host died too), every core
+     * resets with a generation bump so in-flight completions go
+     * stale, and the match table empties until the cold-boot path
+     * reinstalls it. A core wedged by an *injected* handler fault
+     * books its recovery here (the power cycle cleared it); the
+     * node-level crash itself is the caller's ledger entry.
+     */
+    void powerCycle();
+
     // -- statistics ---------------------------------------------------
     /** Frames accepted into the run queue. */
     std::uint64_t accepted() const { return _accepted.value(); }

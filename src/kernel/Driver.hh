@@ -71,6 +71,34 @@ class Driver : public SimObject
     /** Kicked skbs not yet completed by the device. */
     std::size_t inflightTx() const { return _inflightTx.size(); }
 
+    // -- whole-node lifecycle (DESIGN.md §15) ---------------------------
+    /**
+     * Power failure: the in-flight skbs are gone, pending RX work
+     * dies with the cores, and nothing reaches the application until
+     * powerRestore(). In-flight completion events keep firing but
+     * find their work discarded.
+     */
+    void
+    powerFail()
+    {
+        dropInflightTx();
+        for (RxContext &ctx : _rxCtx)
+            ctx.pending.clear();
+        _powerDead = true;
+        eventq().heartbeat(_probeId);
+    }
+
+    /** Lift the power-fail RX blackout (restart path, after
+     *  coldBoot() rebuilt the rings). */
+    void powerRestore() { _powerDead = false; }
+
+    /**
+     * Cold boot after a whole-node restart: reset the device,
+     * rebuild both rings and repost RX buffers — the same recipe
+     * the TX-hang watchdog recovery uses.
+     */
+    void coldBoot() { recoverFromTxHang(); }
+
   protected:
     const SystemConfig &_cfg;
     Random _rng;
@@ -107,6 +135,10 @@ class Driver : public SimObject
     void
     deliverToApp(const PacketPtr &pkt, Tick t)
     {
+        // An RX chain that was in flight when the node lost power
+        // completes into a dead host: the frame is gone.
+        if (_powerDead)
+            return;
         pkt->delivered = t;
         _rxPkts.inc();
         if (_rxHandler)
@@ -244,6 +276,7 @@ class Driver : public SimObject
 
     DescriptorRing *_watchedRing = nullptr;
     bool _watchdogArmed = false;
+    bool _powerDead = false;
     std::deque<PacketPtr> _inflightTx;
     std::size_t _probeId = 0;
     stats::Scalar _txHangs, _skbsDropped;
@@ -273,7 +306,9 @@ class Driver : public SimObject
     watchdogTick()
     {
         _watchdogArmed = false;
-        if (_watchedRing == nullptr)
+        // A powered-off node runs no watchdog; the restart path
+        // rebuilds the rings itself and TX re-arms on first use.
+        if (_watchedRing == nullptr || _powerDead)
             return;
         // TX idle: disarm; the next trackTx() re-arms. This keeps
         // the event queue drainable once traffic stops.

@@ -153,7 +153,47 @@ Node::makeTxPacket(std::uint32_t bytes, std::uint32_t dst,
 void
 Node::sendPacket(const PacketPtr &pkt)
 {
+    // A powered-off node sends nothing: a workload timer that
+    // outlived the crash finds the TX path gone, exactly like a
+    // process whose host died under it.
+    if (!_alive)
+        return;
     _driver->send(pkt);
+}
+
+void
+Node::crash()
+{
+    ND_ASSERT(_alive);
+    _alive = false;
+    ++_bootGen;
+    _crashes.inc();
+    // Carrier drops first: frames in flight toward us die by the
+    // PR 3 epoch rule, and the fabric sees the port go away.
+    if (_wire)
+        _wire->setLinkState(false);
+    _driver->powerFail();
+    if (_netdimm)
+        _netdimm->powerFail();
+    if (_nic)
+        _nic->powerFail();
+}
+
+void
+Node::restart()
+{
+    ND_ASSERT(!_alive);
+    _restarts.inc();
+    // Cold boot: device function-reset (clears the power-dead latch),
+    // rings rebuilt, RX buffers reposted — the TX-hang recovery
+    // recipe reused as the boot path.
+    _driver->coldBoot();
+    _driver->powerRestore();
+    _alive = true;
+    if (_wire)
+        _wire->setLinkState(true);
+    if (_coldBoot)
+        _coldBoot();
 }
 
 void
@@ -191,6 +231,17 @@ Node::printStats(std::ostream &os) const
     drv.add("recoveryLatency", _driver->recoveryLatencyUs().mean(),
             "us");
     drv.print(os);
+
+    // Whole-node lifecycle and replicated-serving counters: one
+    // stable-order group on every node kind (all zero outside the
+    // cluster workload), mirroring the PR 7 handler-counter layout.
+    StatGroup life(name() + ".lifecycle");
+    life.add("crashesInjected", double(_crashes.value()));
+    life.add("restarts", double(_restarts.value()));
+    life.add("resyncBytes", double(_resyncBytes.value()));
+    life.add("failoverRedirects", double(_failoverRedirects.value()));
+    life.add("staleReads", double(_staleReads.value()));
+    life.print(os);
 
     StatGroup cache(name() + ".llc");
     cache.add("hits", double(_llc->hits()));

@@ -84,6 +84,49 @@ class Node : public SimObject
      */
     void printStats(std::ostream &os) const;
 
+    // -- whole-node lifecycle (DESIGN.md §15) ---------------------------
+    /** False between crash() and restart(). */
+    bool alive() const { return _alive; }
+    /** Power-cycle generation: bumped at every crash(), so workload
+     *  callbacks can detect completions that straddled a reboot. */
+    std::uint64_t bootGen() const { return _bootGen; }
+    /**
+     * Whole-node power failure: the access link drops carrier (PR 3
+     * epoch rule kills frames in flight), the driver loses its
+     * in-flight descriptors and pending RX work, and the device's
+     * volatile state (nCache, handler queue/cores/match table) is
+     * wiped. Books nothing — the caller's crash domain owns the
+     * ledger entry.
+     */
+    void crash();
+    /**
+     * Cold boot after crash(): device function-reset, rings rebuilt,
+     * RX buffers reposted, link carrier restored, then the cold-boot
+     * hook replays workload setup (match-table reinstall, KV
+     * reconfiguration). The KV store itself comes back empty — the
+     * workload's resync protocol refills it.
+     */
+    void restart();
+    /** Installed once; replayed at the end of every restart(). */
+    void setColdBootHook(std::function<void()> fn)
+    {
+        _coldBoot = std::move(fn);
+    }
+
+    // -- replication/failover counters (workload-maintained) ------------
+    void noteResyncBytes(std::uint64_t n) { _resyncBytes.inc(n); }
+    void noteFailoverRedirect() { _failoverRedirects.inc(); }
+    void noteStaleRead() { _staleReads.inc(); }
+
+    std::uint64_t crashesInjected() const { return _crashes.value(); }
+    std::uint64_t restarts() const { return _restarts.value(); }
+    std::uint64_t resyncBytes() const { return _resyncBytes.value(); }
+    std::uint64_t failoverRedirects() const
+    {
+        return _failoverRedirects.value();
+    }
+    std::uint64_t staleReads() const { return _staleReads.value(); }
+
     // -- component access -------------------------------------------------
     const SystemConfig &config() const { return _cfg; }
     MemorySystem &mem() { return *_mem; }
@@ -122,6 +165,13 @@ class Node : public SimObject
 
     /** Access link wired by connectTo(); not owned. */
     EthLink *_wire = nullptr;
+
+    // -- whole-node lifecycle -------------------------------------------
+    bool _alive = true;
+    std::uint64_t _bootGen = 0;
+    std::function<void()> _coldBoot;
+    stats::Scalar _crashes, _restarts, _resyncBytes;
+    stats::Scalar _failoverRedirects, _staleReads;
 
     /** Round-robin application pages for standard-driver sources. */
     std::vector<Addr> _appPages;

@@ -1,0 +1,87 @@
+#include "kernel/NodeLifecycle.hh"
+
+#include <cmath>
+
+namespace netdimm
+{
+
+NodeLifecycle::NodeLifecycle(EventQueue &eq, Node &node,
+                             FaultDomain &domain, Params p)
+    : SimObject(eq, node.name() + ".lifecycle"), _node(node),
+      _dom(domain), _p(p)
+{
+    ND_ASSERT(_p.restartDelay > 0 && _p.deferPeriod > 0);
+}
+
+void
+NodeLifecycle::start()
+{
+    if (_p.crashRatePerSec <= 0.0)
+        return;
+    ND_ASSERT(_p.windowEnd > 0);
+    scheduleNext();
+}
+
+void
+NodeLifecycle::scheduleNext()
+{
+    if (_p.crashRatePerSec <= 0.0)
+        return; // crashNow()-only lifecycle: never draws
+    // Exponential inter-crash gap: exactly one draw per scheduled
+    // crash, from this node's private stream. A gap landing past the
+    // injection window schedules nothing, so a drained workload's
+    // event queue actually drains.
+    double u = _dom.uniform();
+    double gap_sec = -std::log(1.0 - u) / _p.crashRatePerSec;
+    Tick at = curTick() + Tick(gap_sec * double(tickPerSec)) + 1;
+    if (at >= _p.windowEnd)
+        return;
+    eventq().schedule(at, [this] { tryCrash(); });
+}
+
+void
+NodeLifecycle::tryCrash()
+{
+    if (curTick() >= _p.windowEnd)
+        return;
+    if (_gate && !_gate()) {
+        // Another node is down or resyncing: defer, don't drop. The
+        // recheck period is fixed so the deferral consumes no draws.
+        scheduleRel(_p.deferPeriod, [this] { tryCrash(); });
+        return;
+    }
+    doCrash();
+}
+
+void
+NodeLifecycle::doCrash()
+{
+    ND_ASSERT(!_down && _node.alive());
+    _dom.noteInjected();
+    _down = true;
+    _node.crash();
+    if (_onCrash)
+        _onCrash();
+    scheduleRel(_p.restartDelay, [this] { doRestart(); });
+}
+
+void
+NodeLifecycle::doRestart()
+{
+    _node.restart();
+    _down = false;
+    // The cold boot is the recovery: the ledger closes here even if
+    // the workload-level resync is still streaming.
+    _dom.noteRecovered();
+    if (_onRestart)
+        _onRestart();
+    scheduleNext();
+}
+
+void
+NodeLifecycle::crashNow()
+{
+    doCrash();
+}
+
+} // namespace netdimm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic whole-node crash/restart scheduler (DESIGN.md §15).
+ *
+ * One NodeLifecycle drives one Node through power-fail / cold-boot
+ * cycles. Crash instants are exponential inter-arrival draws from
+ * the node's own `<node>.crash` FaultDomain, so the schedule is a
+ * pure function of (master seed, node name) — independent of every
+ * other domain's consumption, and a zero-rate lifecycle draws
+ * nothing at all (bit-identical to not constructing one).
+ *
+ * The ledger contract: a crash books noteInjected() on its domain
+ * when the node goes down and noteRecovered() when the cold boot
+ * completes. The restart is always scheduled (restartDelay after the
+ * crash), so every campaign's crash ledger closes before the event
+ * queue drains.
+ *
+ * An optional gate defers a due crash (deterministic fixed-period
+ * recheck, no extra draws) — the serving cluster uses it to keep at
+ * most one node down or resyncing at a time, the precondition of the
+ * zero-lost-acked-writes argument at replication factor >= 2.
+ */
+
+#ifndef NETDIMM_KERNEL_NODELIFECYCLE_HH
+#define NETDIMM_KERNEL_NODELIFECYCLE_HH
+
+#include <functional>
+
+#include "kernel/Node.hh"
+#include "sim/Fault.hh"
+
+namespace netdimm
+{
+
+class NodeLifecycle : public SimObject
+{
+  public:
+    struct Params
+    {
+        /** Per-node crash hazard, events per simulated second; 0
+         *  disables the schedule entirely (no draws, no events). */
+        double crashRatePerSec = 0.0;
+        /** Power-fail to cold-boot delay. */
+        Tick restartDelay = usToTicks(200);
+        /** No crash fires at or after this tick. Must be set when
+         *  crashRatePerSec > 0, or the schedule would outlive the
+         *  workload and keep the event queue alive forever. */
+        Tick windowEnd = 0;
+        /** Gate-refused crashes recheck at this period (no draws). */
+        Tick deferPeriod = usToTicks(20);
+    };
+
+    /** May this node crash right now? (e.g. "cluster is healthy") */
+    using Gate = std::function<bool()>;
+    using Hook = std::function<void()>;
+
+    NodeLifecycle(EventQueue &eq, Node &node, FaultDomain &domain,
+                  Params p);
+
+    void setGate(Gate g) { _gate = std::move(g); }
+    /** Runs right after Node::crash() (workload state wipe). */
+    void setOnCrash(Hook h) { _onCrash = std::move(h); }
+    /** Runs right after Node::restart() (resync kick-off). */
+    void setOnRestart(Hook h) { _onRestart = std::move(h); }
+
+    /** Draw the first crash instant and start the schedule. */
+    void start();
+
+    /** Deterministic immediate crash (tests, demos); bypasses the
+     *  rate draw and the gate but follows the normal restart path. */
+    void crashNow();
+
+    /** True between the crash and the cold boot. */
+    bool down() const { return _down; }
+
+  private:
+    Node &_node;
+    FaultDomain &_dom;
+    Params _p;
+    Gate _gate;
+    Hook _onCrash, _onRestart;
+    bool _down = false;
+
+    void scheduleNext();
+    void tryCrash();
+    void doCrash();
+    void doRestart();
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_KERNEL_NODELIFECYCLE_HH

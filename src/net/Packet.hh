@@ -56,6 +56,10 @@ enum class RpcOp : std::uint8_t
     Get,  ///< KV lookup request
     Put,  ///< KV update request
     Resp, ///< server -> client response
+    // -- replicated serving tier (src/workload cluster mode) ----------
+    ReplPut,  ///< coordinator -> backup replica write
+    ReplAck,  ///< backup -> coordinator replication confirm
+    SyncData, ///< peer -> restarting node shard re-sync batch
 };
 
 /** Accumulated per-component latency of one packet's one-way trip. */
@@ -151,6 +155,16 @@ struct Packet
      * admission drops already-dead requests instead of serving them.
      */
     Tick rpcDeadline = 0;
+    /**
+     * Logical KV key of cluster-mode serving traffic; 0 outside
+     * cluster mode. Distinct from rpcKey, which stays the unique
+     * per-request correlation id (and the simulated DRAM address
+     * seed) exactly as in the single-node workload.
+     */
+    std::uint64_t rpcKvKey = 0;
+    /** Value version carried by replicated PUT / sync / response
+     *  traffic; 0 = unversioned (plain single-copy serving). */
+    std::uint64_t rpcVersion = 0;
 
     /** Number of cachelines the payload spans (1..24 for <= MTU). */
     std::uint32_t

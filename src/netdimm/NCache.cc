@@ -117,4 +117,17 @@ NCache::invalidate(Addr addr, std::uint32_t size)
     }
 }
 
+void
+NCache::wipe()
+{
+    for (Line &l : _lines) {
+        if (!l.valid)
+            continue;
+        l.valid = false;
+        l.header = false;
+        _invalidations.inc();
+    }
+    _resident = 0;
+}
+
 } // namespace netdimm

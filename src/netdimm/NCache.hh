@@ -64,6 +64,14 @@ class NCache
     /** Snoop a write range: drop any matching lines. */
     void invalidate(Addr addr, std::uint32_t size);
 
+    /**
+     * Power loss: every resident line vanishes at once. Booked as
+     * invalidations so the occupancy identity the stats tests assert
+     * (inserts = hits + evictions + invalidations + reinserts +
+     * occupancy) survives a whole-node crash.
+     */
+    void wipe();
+
     std::uint32_t lines() const { return _sets * _assoc; }
 
     /** Valid lines resident right now; never exceeds lines(). */

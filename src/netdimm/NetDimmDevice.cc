@@ -188,7 +188,7 @@ NetDimmDevice::transmit(const PacketPtr &pkt)
     // accumulate until the driver watchdog resets it) or its DMA
     // engine can drop this one transaction (descriptor completes
     // with an error status; the transport retransmits).
-    if (_hung)
+    if (_hung || _powerDead)
         return;
     if (_faults) {
         if (_faults->inject(config().faults.deviceHangProb)) {
@@ -266,9 +266,19 @@ NetDimmDevice::reset()
     if (_hung && _faults)
         _faults->noteRecovered();
     _hung = false;
+    _powerDead = false;
     _resets.inc();
     _txRing.init(_txRing.base(), _txRing.entries());
     _rxRing.init(_rxRing.base(), _rxRing.entries());
+}
+
+void
+NetDimmDevice::powerFail()
+{
+    _powerDead = true;
+    _ncache.wipe();
+    if (_handlers)
+        _handlers->powerCycle();
 }
 
 void
@@ -286,8 +296,8 @@ NetDimmDevice::deliver(const PacketPtr &pkt)
         _rxDrops.inc();
         return;
     }
-    // A hung device moves no frames in either direction.
-    if (_hung) {
+    // A hung (or powered-off) device moves no frames either way.
+    if (_hung || _powerDead) {
         _rxDrops.inc();
         return;
     }

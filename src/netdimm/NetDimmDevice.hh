@@ -128,6 +128,17 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
      */
     void reset();
 
+    /**
+     * Whole-node power failure: the device stops moving frames, the
+     * nCache SRAM and the handler stage (queue, cores, match table)
+     * are wiped. Distinct from an injected hang — no fault is booked
+     * here; the node-level crash domain owns the ledger entry. The
+     * cold-boot reset() clears the condition.
+     */
+    void powerFail();
+    /** True between powerFail() and the cold-boot reset(). */
+    bool powerDead() const { return _powerDead; }
+
     std::uint64_t hangs() const { return _hangs.value(); }
     std::uint64_t resets() const { return _resets.value(); }
     std::uint64_t txDmaDrops() const { return _txDmaDrops.value(); }
@@ -176,6 +187,7 @@ class NetDimmDevice : public NvdimmPDevice, public NetEndpoint
     TxNotify _txNotify;
     FaultDomain *_faults = nullptr;
     bool _hung = false;
+    bool _powerDead = false;
     /** Last line the host read; detects sequential payload streams. */
     Addr _lastHostReadLine = ~Addr(0);
 

@@ -83,8 +83,9 @@ class NicDevice : public SimObject, public NetEndpoint
             dropRx(pkt);
             return;
         }
-        // A hung device stops moving frames in either direction.
-        if (_hung) {
+        // A hung (or powered-off) device stops moving frames in
+        // either direction.
+        if (_hung || _powerDead) {
             dropRx(pkt);
             return;
         }
@@ -124,10 +125,20 @@ class NicDevice : public SimObject, public NetEndpoint
         if (_hung && _faults)
             _faults->noteRecovered();
         _hung = false;
+        _powerDead = false;
         _resets.inc();
         _txRing.init(_txRing.base(), _txRing.entries());
         _rxRing.init(_rxRing.base(), _rxRing.entries());
     }
+
+    /**
+     * Whole-node power failure: stop moving frames until the
+     * cold-boot reset(). Unlike forceHang() no fault is booked —
+     * the node-level crash domain owns the ledger entry.
+     */
+    void powerFail() { _powerDead = true; }
+    /** True between powerFail() and the cold-boot reset(). */
+    bool powerDead() const { return _powerDead; }
 
     std::uint64_t hangs() const { return _hangs.value(); }
     std::uint64_t resets() const { return _resets.value(); }
@@ -169,7 +180,7 @@ class NicDevice : public SimObject, public NetEndpoint
     bool
     faultTxCheck(const PacketPtr &pkt)
     {
-        if (_hung)
+        if (_hung || _powerDead)
             return true;
         if (_faults) {
             if (_faults->inject(_cfg.faults.deviceHangProb)) {
@@ -212,6 +223,7 @@ class NicDevice : public SimObject, public NetEndpoint
     TxNotify _txNotify;
     FaultDomain *_faults = nullptr;
     bool _hung = false;
+    bool _powerDead = false;
     stats::Scalar _txFrames, _rxFrames, _rxDrops;
     stats::Scalar _hangs, _resets, _txDmaDrops;
 };

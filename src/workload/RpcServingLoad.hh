@@ -24,6 +24,14 @@
  * replies exactly and records per-request RTT in a LatencyHistogram
  * (ticks). The whole cell is deterministic for a given params struct:
  * results merge and print byte-identically at any --jobs.
+ *
+ * Cluster mode (ServingParams::cluster, DESIGN.md §15) generalizes
+ * the cell to N serving nodes behind a switch: keys map to R-way
+ * replica sets on a consistent-hash ring, PUTs are acknowledged only
+ * after every replica installed them, whole-node crash/restart
+ * faults wipe a node's volatile state, clients fail over past dead
+ * primaries via their request timeouts, and a restarted node
+ * re-syncs its shards from peers before rejoining the serve set.
  */
 
 #ifndef NETDIMM_WORKLOAD_RPCSERVINGLOAD_HH
@@ -57,6 +65,47 @@ enum class ShedPolicy : std::uint8_t
 };
 
 const char *shedPolicyName(ShedPolicy s);
+
+/**
+ * Replicated-cluster serving mode (DESIGN.md §15): N serving nodes
+ * behind a consistent-hash shard map with R-way replication, a
+ * whole-node crash/restart fault model, client failover, and
+ * resync-before-rejoin for restarted nodes.
+ *
+ * With enabled=false (default) the workload is the single-server
+ * harness, byte-identical to every pre-cluster golden. With
+ * enabled=true but nodes=1, replication=1 and crashRatePerSec=0 the
+ * cluster machinery is structurally inert: same topology, same event
+ * order, same RNG consumption on every shared stream — the serving
+ * digest stays byte-identical to the disabled path (asserted by
+ * bench/serving_failover's golden cell).
+ */
+struct ClusterServingParams
+{
+    bool enabled = false;
+    /** Serving nodes (ids 1..N behind a switch; 1 keeps the direct
+     *  client-server link of the single-node harness). */
+    std::uint32_t nodes = 1;
+    /** Replica count R per key. A PUT is acknowledged only after all
+     *  R replicas installed it (strict primary-backup). */
+    std::uint32_t replication = 1;
+    /** Logical KV key space; keys are drawn uniformly from [1, N]. */
+    std::uint64_t keySpace = 2048;
+    /** Virtual points per node on the consistent-hash ring. */
+    std::uint32_t vnodes = 48;
+    /** Per-node whole-node crash hazard, events per simulated second
+     *  (0 = no crashes, no draws). Crash instants come from each
+     *  node's own "<node>.crash" FaultDomain. */
+    double crashRatePerSec = 0.0;
+    /** Power-fail to cold-boot delay. */
+    Tick restartDelay = usToTicks(300);
+    /** How long the client avoids a node after a timeout on it. */
+    Tick suspectTicks = usToTicks(200);
+    /** KV entries per shard re-sync frame. */
+    std::uint32_t syncBatch = 5;
+    /** Coordinator retransmit period for unacked replica writes. */
+    Tick replRetryTimeout = usToTicks(50);
+};
 
 /** One serving cell's knobs. */
 struct ServingParams
@@ -150,6 +199,9 @@ struct ServingParams
     bool dropExpiredAtDequeue = false;
     /** Remaining-budget floor below which a dequeued request is shed. */
     Tick dequeueMargin = 0;
+
+    // -- replicated serving tier (DESIGN.md §15) -----------------------
+    ClusterServingParams cluster;
 };
 
 /** What one serving cell measured. */
@@ -213,6 +265,31 @@ struct ServingResult
     std::uint64_t faultsRecovered = 0;
     std::uint64_t faultsUnrecovered = 0;
     bool ledgerClosed = true;
+
+    // -- replicated serving / node lifecycle (DESIGN.md §15) -----------
+    /** Late duplicate replies (a retried/hedged/failed-over request
+     *  answered more than once); dropped by the sequence check after
+     *  the first reply was counted. */
+    std::uint64_t duplicateReplies = 0;
+    /** Distinct KV keys with at least one acknowledged PUT. */
+    std::uint64_t ackedPuts = 0;
+    /** Acked writes no surviving replica still holds at end of run —
+     *  the durability violation count (0 whenever R >= 2 with the
+     *  one-crash-at-a-time fault schedule). */
+    std::uint64_t lostAckedWrites = 0;
+    /** Whole-node crashes injected / cold boots completed. */
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    /** Shard re-sync payload streamed into restarted nodes. */
+    std::uint64_t resyncBytes = 0;
+    /** Client sends routed away from a key's primary replica. */
+    std::uint64_t failoverRedirects = 0;
+    /** GET replies older than an already-acked write (0 by protocol:
+     *  strict R-ack plus resync-before-rejoin). */
+    std::uint64_t staleReads = 0;
+    /** Node-downtime fraction: sum of per-node down-until-rejoin time
+     *  over (nodes x offered-load window). */
+    double deadFraction = 0.0;
 };
 
 /** Build a two-node serving cell from @p base and run it. */

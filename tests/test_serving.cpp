@@ -2,7 +2,9 @@
  * @file
  * End-to-end tests for the KV serving harness: request accounting,
  * placement behaviour (handler offload vs host processing), the
- * zero-handler golden equivalence, and run-to-run determinism.
+ * zero-handler golden equivalence, run-to-run determinism, and the
+ * replicated cluster mode (inert-knob byte identity, crash/failover
+ * durability, duplicate-reply suppression).
  */
 
 #include <gtest/gtest.h>
@@ -84,4 +86,112 @@ TEST(RpcServing, DeterministicAcrossRuns)
     EXPECT_EQ(a.rtt.digest(), b.rtt.digest());
     EXPECT_EQ(a.handlerServed, b.handlerServed);
     EXPECT_EQ(a.handlerBusFraction, b.handlerBusFraction);
+}
+
+// -- cluster mode -------------------------------------------------------
+
+TEST(RpcServingCluster, InertClusterKnobsAreByteIdentical)
+{
+    // cluster.enabled with nodes=1 / replication=1 / crash=0 must be
+    // structurally inert: same topology, same event order, same
+    // digest as the plain single-server cell. This is the identity
+    // the serving_failover golden cell rests on.
+    SystemConfig base;
+    ServingParams plain = smallCell(ServingPlacement::NetDimmHost);
+    ServingParams inert = plain;
+    inert.cluster.enabled = true;
+
+    ServingResult a = runServing(base, plain);
+    ServingResult b = runServing(base, inert);
+    EXPECT_EQ(a.rtt.digest(), b.rtt.digest());
+    EXPECT_EQ(a.sent, b.sent);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.hostServed, b.hostServed);
+    EXPECT_GT(b.ackedPuts, 0u); // bookkeeping on, behaviour unchanged
+    EXPECT_EQ(b.lostAckedWrites, 0u);
+}
+
+namespace
+{
+
+ServingParams
+clusterCell(double crashRate, std::uint32_t r)
+{
+    ServingParams p = smallCell(ServingPlacement::NetDimmHost);
+    p.qps = 1e6;
+    p.requests = 800;
+    p.warmup = 100;
+    p.deadline = usToTicks(120);
+    p.retryTimeout = usToTicks(10);
+    p.maxRetries = 4;
+    p.cluster.enabled = true;
+    p.cluster.nodes = 4;
+    p.cluster.replication = r;
+    p.cluster.crashRatePerSec = crashRate;
+    p.cluster.restartDelay = usToTicks(80);
+    p.cluster.suspectTicks = usToTicks(60);
+    return p;
+}
+
+} // namespace
+
+TEST(RpcServingCluster, ReplicatedClusterLosesNoAckedWriteUnderCrashes)
+{
+    SystemConfig base;
+    ServingResult r = runServing(base, clusterCell(4e4, 2));
+    EXPECT_GT(r.crashes, 0u) << "cell too quiet to test anything";
+    EXPECT_EQ(r.crashes, r.restarts);
+    EXPECT_TRUE(r.ledgerClosed);
+    EXPECT_GT(r.ackedPuts, 0u);
+    EXPECT_EQ(r.lostAckedWrites, 0u);
+    EXPECT_EQ(r.staleReads, 0u);
+    EXPECT_GT(r.failoverRedirects, 0u); // clients routed around death
+    EXPECT_GT(r.resyncBytes, 0u);       // reboots re-synced shards
+    EXPECT_GT(r.goodRpcs, 0u);
+}
+
+TEST(RpcServingCluster, DeterministicUnderCrashes)
+{
+    SystemConfig base;
+    ServingParams p = clusterCell(4e4, 2);
+    ServingResult a = runServing(base, p);
+    ServingResult b = runServing(base, p);
+    EXPECT_EQ(a.rtt.digest(), b.rtt.digest());
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.resyncBytes, b.resyncBytes);
+    EXPECT_EQ(a.failoverRedirects, b.failoverRedirects);
+    EXPECT_EQ(a.duplicateReplies, b.duplicateReplies);
+}
+
+TEST(RpcServingCluster, UnreplicatedClusterLosesAckedWritesToCrashes)
+{
+    // The negative control: R=1 has no surviving replica, so a crash
+    // provably loses acknowledged writes -- which is exactly what the
+    // durability audit must report.
+    SystemConfig base;
+    ServingResult r = runServing(base, clusterCell(8e4, 1));
+    EXPECT_GT(r.crashes, 0u);
+    EXPECT_GT(r.lostAckedWrites, 0u);
+}
+
+TEST(RpcServing, LateDuplicateRepliesAreDroppedAndCounted)
+{
+    // A retry timeout far below the actual RTT makes every request
+    // retransmit while the original is still being served; the second
+    // reply finds its key already completed and must be dropped by
+    // the sequence check, not double-counted.
+    SystemConfig base;
+    ServingParams p = smallCell(ServingPlacement::NetDimmHost);
+    p.qps = 0.2e6;
+    p.requests = 200;
+    p.warmup = 50;
+    p.retryTimeout = usToTicks(1); // << RTT
+    // Enough retries that the exponential backoff outlives the real
+    // RTT: no flight is abandoned, every request completes exactly
+    // once, and the extra sends surface purely as duplicates.
+    p.maxRetries = 8;
+    ServingResult r = runServing(base, p);
+    EXPECT_GT(r.duplicateReplies, 0u);
+    EXPECT_EQ(r.completed, r.sent); // each counted exactly once
+    EXPECT_EQ(r.rtt.count(), 200u);
 }
