@@ -9,13 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 
 #include "mem/MemoryController.hh"
 #include "net/Link.hh"
 #include "net/Packet.hh"
+#include "net/ShardLink.hh"
 #include "netdimm/NCache.hh"
 #include "kernel/Node.hh"
+#include "sim/ParallelSim.hh"
+#include "sim/ShardChannel.hh"
 
 using namespace netdimm;
 
@@ -199,6 +204,135 @@ BENCHMARK(BM_EndToEndPacket)
     ->Arg(int(NicKind::Integrated))
     ->Arg(int(NicKind::NetDimm))
     ->Unit(benchmark::kMicrosecond);
+
+void
+BM_ShardChannelPushPop(benchmark::State &state)
+{
+    // Single-thread enqueue/dequeue through the SPSC chunk machinery
+    // (no cross-core traffic): the floor cost of one channel entry.
+    ShardChannel<std::uint64_t> ch;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < 256; ++i)
+            ch.push(i);
+        const std::uint64_t *v;
+        while ((v = ch.front()) != nullptr) {
+            sink += *v;
+            ch.pop();
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    if (ch.chunkAllocs() > 8)
+        state.SkipWithError("chunk recycling failed");
+    state.SetItemsProcessed(state.iterations() * 256);
+    state.SetLabel("entries");
+}
+BENCHMARK(BM_ShardChannelPushPop);
+
+void
+BM_ShardChannelFrameTransfer(benchmark::State &state)
+{
+    // Same path carrying real cross-shard freight: a ShardFrame is a
+    // by-value Packet plus two ticks (~the copy the producer pays in
+    // CrossShardSink::push and the consumer pays materializing it).
+    ShardChannel<ShardFrame> ch;
+    ShardFrame f{};
+    f.pkt.bytes = 1460;
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < 64; ++i) {
+            f.sendTick = i;
+            f.when = i + 67600;
+            ch.push(f);
+        }
+        const ShardFrame *got;
+        while ((got = ch.front()) != nullptr) {
+            sink += got->when;
+            ch.pop();
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * 64);
+    state.SetLabel("frames");
+}
+BENCHMARK(BM_ShardChannelFrameTransfer);
+
+void
+BM_ShardChannelThreaded(benchmark::State &state)
+{
+    // Two-core steady state: a persistent producer thread pushes
+    // batches on demand; the benchmark thread drains them. Measures
+    // the release/acquire hand-off rate between shard threads.
+    constexpr std::int64_t kBatch = 1024;
+    ShardChannel<std::uint64_t> ch;
+    std::atomic<std::int64_t> batch{0};
+    std::thread producer([&] {
+        for (;;) {
+            std::int64_t n =
+                batch.exchange(0, std::memory_order_acquire);
+            if (n < 0)
+                return;
+            if (n == 0) {
+                std::this_thread::yield();
+                continue;
+            }
+            for (std::int64_t i = 0; i < n; ++i)
+                ch.push(std::uint64_t(i));
+        }
+    });
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        batch.store(kBatch, std::memory_order_release);
+        std::int64_t got = 0;
+        while (got < kBatch) {
+            const std::uint64_t *v = ch.front();
+            if (v == nullptr)
+                continue;
+            sink += *v;
+            ch.pop();
+            ++got;
+        }
+    }
+    batch.store(-1, std::memory_order_release);
+    producer.join();
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations() * kBatch);
+    state.SetLabel("entries");
+}
+BENCHMARK(BM_ShardChannelThreaded)->UseRealTime();
+
+void
+BM_PdesNullQuanta(benchmark::State &state)
+{
+    // Pure synchronization overhead of the conservative protocol: a
+    // free-running ParallelSim with NO traffic just exchanges
+    // implicit null messages (quantum barriers). Items/sec = quanta
+    // per second per shard; sweeping the quantum shows how lookahead
+    // sets the ceiling on sync cost (smaller lookahead -> more quanta
+    // for the same simulated time).
+    unsigned shards = unsigned(state.range(0));
+    Tick quantum = Tick(state.range(1));
+    Tick horizon = quantum * 4096;
+    std::uint64_t quanta = 0;
+    for (auto _ : state) {
+        ParallelSim sim(shards, quantum,
+                        ParallelSim::Mode::FreeRun);
+        sim.run(horizon, [](ShardHost &) {});
+        quanta += sim.shardStats()[0].quanta;
+    }
+    state.SetItemsProcessed(quanta);
+    state.SetLabel(std::to_string(shards) + " shards");
+}
+BENCHMARK(BM_PdesNullQuanta)
+    ->Args({1, 67600})
+    ->Args({2, 16900})
+    ->Args({2, 67600})
+    ->Args({2, 270400})
+    ->Args({4, 16900})
+    ->Args({4, 67600})
+    ->Args({4, 270400})
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -186,6 +186,22 @@ tryParseSweepCli(const std::vector<std::string> &args,
             cli.jobs = unsigned(n);
             continue;
         }
+        if (arg == "--shards") {
+            if (a + 1 >= args.size()) {
+                error = "--shards requires a value";
+                return false;
+            }
+            const std::string &v = args[++a];
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || n < 1) {
+                error = "--shards must be a positive integer (got '" +
+                        v + "')";
+                return false;
+            }
+            cli.shards = unsigned(n);
+            continue;
+        }
         bool allowed = false;
         for (const std::string &f : extra_flags)
             if (arg == f) {
@@ -217,7 +233,7 @@ parseSweepCli(int argc, char **argv,
     if (!tryParseSweepCli(args, extra_flags, cli, error)) {
         std::string usage = "usage: ";
         usage += argc > 0 ? argv[0] : "bench";
-        usage += " [--short] [--jobs N]";
+        usage += " [--short] [--jobs N] [--shards N]";
         for (const std::string &f : extra_flags)
             usage += " [" + f + "]";
         std::fprintf(stderr, "%s: %s\n%s\n",

@@ -182,6 +182,9 @@ class SweepRunner
 struct SweepCli
 {
     unsigned jobs = 0; ///< resolved: >= 1
+    /** `--shards N` for the PDES benches; 0 = flag absent (the bench
+     *  picks its own sweep). Same reject semantics as `--jobs`. */
+    unsigned shards = 0;
     bool shortMode = false;
     /** Allowlisted caller-handled flags, in argv order. */
     std::vector<std::string> rest;

@@ -18,6 +18,14 @@ EthLink::connect(NetEndpoint *a, NetEndpoint *b)
     _endB = b;
 }
 
+void
+EthLink::connectRemote(NetEndpoint *local, CrossShardSink *sink)
+{
+    ND_ASSERT(local && sink);
+    _endA = local;
+    _remoteSink = sink;
+}
+
 Tick
 EthLink::frameTicks(std::uint32_t bytes) const
 {
@@ -67,7 +75,7 @@ EthLink::scheduleFlap(Tick down_at, Tick duration)
 void
 EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
 {
-    ND_ASSERT(_endA && _endB);
+    ND_ASSERT(_endA && (_endB || _remoteSink));
     ND_ASSERT(from == _endA || from == _endB);
     if (!_up) {
         _dropsDown.inc();
@@ -107,6 +115,14 @@ EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
             pkt->corrupted = true;
             break;
         }
+    }
+
+    if (_remoteSink) {
+        // Cross-shard half-link: the frame leaves this shard by
+        // value, already stamped with its arrival tick. No epoch
+        // check on the far side — cross-shard links do not flap.
+        _remoteSink->push(curTick(), arrival, *pkt);
+        return;
     }
 
     std::uint64_t epoch = _epoch;

@@ -43,6 +43,33 @@ class NetEndpoint
 };
 
 /**
+ * Producer half of a cross-shard frame conduit (PDES, DESIGN.md §16).
+ * A link or fabric whose far end lives on another shard pushes the
+ * frame BY VALUE at send time, stamped with the send tick and the
+ * already-computed arrival tick; the owning shard's driver pumps the
+ * channel each sync quantum and schedules the arrivals locally. The
+ * sink is the type-erased face of net::PacketChannel
+ * (net/ShardLink.hh) so this header stays independent of the channel
+ * implementation.
+ */
+class CrossShardSink
+{
+  public:
+    virtual ~CrossShardSink() = default;
+
+    /**
+     * Hand one frame to the far shard.
+     * @param send_tick the sender's current tick (monotone per sink —
+     *        the pump's completeness criterion).
+     * @param when the frame's arrival tick at the far endpoint; at
+     *        least send_tick + lookahead by construction.
+     * @param pkt copied into the channel; the sender's pooled packet
+     *        never crosses the thread boundary.
+     */
+    virtual void push(Tick send_tick, Tick when, const Packet &pkt) = 0;
+};
+
+/**
  * Per-frame fault decision hook attached to a link. Implemented by
  * transport::FaultInjector; the interface lives here so nd_net does
  * not depend on nd_transport.
@@ -73,6 +100,18 @@ class EthLink : public SimObject
 
     /** Wire both ends. Must be called before send(). */
     void connect(NetEndpoint *a, NetEndpoint *b);
+
+    /**
+     * Wire this link as the LOCAL HALF of a cross-shard link: @p local
+     * transmits into @p sink; the far shard owns the opposite
+     * direction as its own half-link (full duplex decomposes cleanly
+     * because the two directions share no transmitter state). Only
+     * the A->B direction exists on a half-link, and link flaps are
+     * unsupported across shards (a flap would have to replicate state
+     * on both halves); frames still serialize, accrue Wire latency
+     * and pass the fault hook exactly like local sends.
+     */
+    void connectRemote(NetEndpoint *local, CrossShardSink *sink);
 
     /**
      * Transmit @p pkt from endpoint @p from to the opposite end.
@@ -149,6 +188,7 @@ class EthLink : public SimObject
     const EthConfig _cfg;
     NetEndpoint *_endA = nullptr;
     NetEndpoint *_endB = nullptr;
+    CrossShardSink *_remoteSink = nullptr;
     LinkFaultHook *_fault = nullptr;
     FaultDomain *_domain = nullptr;
     /** Per-direction transmitter-free times: [0]=A->B, [1]=B->A. */

@@ -270,7 +270,14 @@ void
 ClosFabric::attach(std::uint32_t node_id, NetEndpoint *ep)
 {
     ND_ASSERT(ep);
-    _routes.add(node_id, ep);
+    _routes.add(node_id, Egress{ep, nullptr});
+}
+
+void
+ClosFabric::attachRemote(std::uint32_t node_id, CrossShardSink *sink)
+{
+    ND_ASSERT(sink);
+    _routes.add(node_id, Egress{nullptr, sink});
 }
 
 Tick
@@ -290,8 +297,8 @@ ClosFabric::pathDelay(std::uint32_t bytes, TrafficLocality loc) const
 void
 ClosFabric::forward(const PacketPtr &pkt, TrafficLocality loc)
 {
-    NetEndpoint **ep = _routes.resolve(pkt->dstNode);
-    if (!ep) {
+    Egress *eg = _routes.resolve(pkt->dstNode);
+    if (!eg) {
         // A frame to a node the fabric does not know is the network
         // equivalent of a misdelivered packet: real fabrics drop it
         // (and a reliable transport retransmits or gives up); only a
@@ -303,11 +310,19 @@ ClosFabric::forward(const PacketPtr &pkt, TrafficLocality loc)
         _routes.noteNoRoute();
         return;
     }
-    NetEndpoint *dst = *ep;
 
     Tick delay = pathDelay(pkt->bytes, loc);
     pkt->lat.add(LatComp::Wire, delay);
     _frames.inc();
+    if (eg->sink) {
+        // Cross-shard destination: export the frame at SEND time with
+        // its precomputed arrival tick, so the far shard's pump sees a
+        // send-tick-monotone stream (arrival ticks are not monotone —
+        // the delay varies with frame size and locality).
+        eg->sink->push(curTick(), curTick() + delay, *pkt);
+        return;
+    }
+    NetEndpoint *dst = eg->ep;
     scheduleRel(delay, [dst, pkt] { dst->deliver(pkt); });
 }
 

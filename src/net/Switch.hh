@@ -194,6 +194,15 @@ class ClosFabric : public SimObject, public NetEndpoint
     void attach(std::uint32_t node_id, NetEndpoint *ep);
 
     /**
+     * Register @p node_id as living on another shard: frames for it
+     * leave through @p sink at send time, stamped with the locally
+     * computed arrival tick (the fabric delay is a pure function of
+     * frame size and locality, so sharding the fabric changes no
+     * timing). Not owned.
+     */
+    void attachRemote(std::uint32_t node_id, CrossShardSink *sink);
+
+    /**
      * Fabric traversal for @p pkt whose locality is @p loc; delivery
      * is scheduled at the destination endpoint.
      */
@@ -215,8 +224,15 @@ class ClosFabric : public SimObject, public NetEndpoint
     }
 
   private:
+    /** One attached destination: local endpoint or cross-shard sink. */
+    struct Egress
+    {
+        NetEndpoint *ep = nullptr;
+        CrossShardSink *sink = nullptr;
+    };
+
     const EthConfig _cfg;
-    RouteTable<NetEndpoint *> _routes;
+    RouteTable<Egress> _routes;
     TrafficLocality _defaultLoc = TrafficLocality::IntraCluster;
     stats::Scalar _frames;
 };

@@ -198,4 +198,195 @@ LeafSpineTopology::dropsLinkDown() const
     return total;
 }
 
+// -- PodFabricShard ----------------------------------------------------------
+
+PodFabricShard::PodFabricShard(ShardHost &host, std::string name,
+                               const PodFabricSpec &spec)
+    : SimObject(host.eventq(), std::move(name)), _spec(spec),
+      _shard(host.shardId()), _shards(host.shards())
+{
+    ND_ASSERT(spec.pods > 0 && spec.leavesPerPod > 0 &&
+              spec.spines > 0 && spec.nodesPerLeaf > 0);
+    _leafSw.assign(spec.totalLeaves(), nullptr);
+    _spineSw.assign(spec.spines, nullptr);
+    _up.assign(std::size_t(spec.totalLeaves()) * spec.spines,
+               nullptr);
+    _down.assign(std::size_t(spec.totalLeaves()) * spec.spines,
+                 nullptr);
+    buildSwitches(host);
+    buildLinks(host);
+    installRoutes();
+}
+
+void
+PodFabricShard::buildSwitches(ShardHost &host)
+{
+    for (std::uint32_t l = 0; l < _spec.totalLeaves(); ++l) {
+        std::uint32_t pod = l / _spec.leavesPerPod;
+        if (PodFabricSpec::podShard(pod, _shards) != _shard)
+            continue;
+        auto sw = std::make_unique<Switch>(
+            host.eventq(), name() + ".leaf" + std::to_string(l),
+            _spec.eth);
+        _leafSw[l] = sw.get();
+        _ownedSwitches.push_back(std::move(sw));
+    }
+    for (std::uint32_t s = 0; s < _spec.spines; ++s) {
+        if (PodFabricSpec::spineShard(s, _shards) != _shard)
+            continue;
+        auto sw = std::make_unique<Switch>(
+            host.eventq(), name() + ".spine" + std::to_string(s),
+            _spec.eth);
+        _spineSw[s] = sw.get();
+        _ownedSwitches.push_back(std::move(sw));
+    }
+}
+
+void
+PodFabricShard::buildLinks(ShardHost &host)
+{
+    for (std::uint32_t l = 0; l < _spec.totalLeaves(); ++l) {
+        std::uint32_t pod = l / _spec.leavesPerPod;
+        bool leaf_local =
+            PodFabricSpec::podShard(pod, _shards) == _shard;
+        for (std::uint32_t s = 0; s < _spec.spines; ++s) {
+            bool spine_local =
+                PodFabricSpec::spineShard(s, _shards) == _shard;
+            std::size_t i = std::size_t(l) * _spec.spines + s;
+            std::string base = name() + ".up" + std::to_string(l) +
+                               "_" + std::to_string(s);
+            if (leaf_local && spine_local) {
+                // Both ends here: one ordinary full-duplex link.
+                auto link = std::make_unique<EthLink>(
+                    host.eventq(), base, _spec.eth);
+                link->connect(_leafSw[l], _spineSw[s]);
+                _up[i] = _down[i] = link.get();
+                _ownedLinks.push_back(std::move(link));
+                continue;
+            }
+            if (leaf_local) {
+                // We transmit the up direction into the spine's
+                // shard, and pump the down direction out of it.
+                auto ch = host.channel<PacketChannel>(chanKey(l, s, 0));
+                auto link = std::make_unique<EthLink>(
+                    host.eventq(), base, _spec.eth);
+                link->connectRemote(_leafSw[l], ch.get());
+                _up[i] = link.get();
+                _ownedLinks.push_back(std::move(link));
+                _exports.push_back(std::move(ch));
+
+                auto in = host.channel<PacketChannel>(chanKey(l, s, 1));
+                in->setTarget(_leafSw[l]);
+                host.addIngress(chanKey(l, s, 1), in.get());
+                _imports.push_back(std::move(in));
+            } else if (spine_local) {
+                auto ch = host.channel<PacketChannel>(chanKey(l, s, 1));
+                auto link = std::make_unique<EthLink>(
+                    host.eventq(),
+                    name() + ".down" + std::to_string(l) + "_" +
+                        std::to_string(s),
+                    _spec.eth);
+                link->connectRemote(_spineSw[s], ch.get());
+                _down[i] = link.get();
+                _ownedLinks.push_back(std::move(link));
+                _exports.push_back(std::move(ch));
+
+                auto in = host.channel<PacketChannel>(chanKey(l, s, 0));
+                in->setTarget(_spineSw[s]);
+                host.addIngress(chanKey(l, s, 0), in.get());
+                _imports.push_back(std::move(in));
+            }
+        }
+    }
+}
+
+void
+PodFabricShard::installRoutes()
+{
+    // Every route for every node in the spec is installed up front —
+    // node ids are procedural, so no attachment gossip is needed.
+    for (std::uint32_t l = 0; l < _spec.totalLeaves(); ++l) {
+        if (!_leafSw[l])
+            continue;
+        // ECMP members in spine order, always fully live: identical
+        // groups (hence identical flow hashing) at any shard count.
+        std::vector<EthLink *> members;
+        members.reserve(_spec.spines);
+        for (std::uint32_t s = 0; s < _spec.spines; ++s)
+            members.push_back(_up[std::size_t(l) * _spec.spines + s]);
+        for (std::uint32_t n = 0; n < _spec.totalNodes(); ++n) {
+            if (_spec.leafOf(n) == l)
+                continue; // local delivery route installed by attach()
+            _leafSw[l]->addEcmpRoute(n, members);
+        }
+    }
+    for (std::uint32_t s = 0; s < _spec.spines; ++s) {
+        if (!_spineSw[s])
+            continue;
+        for (std::uint32_t n = 0; n < _spec.totalNodes(); ++n) {
+            std::uint32_t l = _spec.leafOf(n);
+            _spineSw[s]->addRoute(
+                n, _down[std::size_t(l) * _spec.spines + s]);
+        }
+    }
+}
+
+EthLink &
+PodFabricShard::attach(std::uint32_t node_id, NetEndpoint *ep)
+{
+    ND_ASSERT(ep);
+    ND_ASSERT(node_id < _spec.totalNodes());
+    ND_ASSERT(ownsNode(node_id));
+    std::uint32_t l = _spec.leafOf(node_id);
+    auto link = std::make_unique<EthLink>(
+        eventq(), name() + ".access" + std::to_string(node_id),
+        _spec.eth);
+    link->connect(_leafSw[l], ep);
+    EthLink *access = link.get();
+    _access.push_back(std::move(link));
+    _leafSw[l]->addRoute(node_id, access);
+    return *access;
+}
+
+Switch &
+PodFabricShard::leaf(std::uint32_t l)
+{
+    ND_ASSERT(l < _leafSw.size() && _leafSw[l]);
+    return *_leafSw[l];
+}
+
+Switch &
+PodFabricShard::spine(std::uint32_t s)
+{
+    ND_ASSERT(s < _spineSw.size() && _spineSw[s]);
+    return *_spineSw[s];
+}
+
+std::uint64_t
+PodFabricShard::fabricFrames() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : _ownedSwitches)
+        total += sw->framesForwarded();
+    return total;
+}
+
+std::uint64_t
+PodFabricShard::framesExported() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : _exports)
+        total += ch->framesPushed();
+    return total;
+}
+
+std::uint64_t
+PodFabricShard::framesImported() const
+{
+    std::uint64_t total = 0;
+    for (const auto &ch : _imports)
+        total += ch->framesPumped();
+    return total;
+}
+
 } // namespace netdimm

@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/ShardLink.hh"
 #include "net/Switch.hh"
 
 namespace netdimm
@@ -167,6 +168,145 @@ class LeafSpineTopology : public SimObject
      *  transition, so no leaf keeps hashing flows onto a spine that
      *  lost its path to the destination. */
     void reinstallEcmpRoutes();
+};
+
+/**
+ * Shape of a multi-pod leaf-spine fabric for the pod-sharded PDES
+ * driver. Node ids are procedural — node n lives on global leaf
+ * n / nodesPerLeaf, and global leaf L belongs to pod
+ * L / leavesPerPod — so every shard derives the full routing picture
+ * from the spec alone, without exchanging attachment state.
+ */
+struct PodFabricSpec
+{
+    std::uint32_t pods = 4;
+    std::uint32_t leavesPerPod = 4;
+    std::uint32_t spines = 8;
+    std::uint32_t nodesPerLeaf = 64;
+    EthConfig eth{};
+
+    std::uint32_t totalLeaves() const { return pods * leavesPerPod; }
+    std::uint32_t
+    totalNodes() const
+    {
+        return totalLeaves() * nodesPerLeaf;
+    }
+    std::uint32_t
+    leafOf(std::uint32_t node_id) const
+    {
+        return node_id / nodesPerLeaf;
+    }
+    std::uint32_t
+    podOf(std::uint32_t node_id) const
+    {
+        return leafOf(node_id) / leavesPerPod;
+    }
+
+    /** Pod @p pod's switches and nodes live on this shard. */
+    static unsigned
+    podShard(std::uint32_t pod, unsigned shards)
+    {
+        return pod % shards;
+    }
+    /** Spine @p s lives on this shard (spines round-robin so every
+     *  shard carries a fair slice of the spine tier). */
+    static unsigned
+    spineShard(std::uint32_t s, unsigned shards)
+    {
+        return s % shards;
+    }
+
+    /** The safe ParallelSim quantum: cross-shard edges are EthLinks,
+     *  so the lookahead is the minimum leaf<->spine frame flight
+     *  time. */
+    Tick lookahead() const { return ethLinkLookahead(eth); }
+};
+
+/**
+ * One shard's slice of a pod-partitioned leaf-spine fabric
+ * (DESIGN.md §16). The shard owns the leaves of its pods, its share
+ * of the spine tier, and every link whose TRANSMITTER it owns: a
+ * leaf<->spine pair split across shards becomes two half-links, one
+ * per direction, each feeding a PacketChannel the far shard pumps.
+ * Because the two directions of a full-duplex link share no state,
+ * the decomposition is exact — a sharded run reproduces the
+ * unsharded topology's timing tick for tick (identical ECMP member
+ * order, identical serialization pipelines), which is what the
+ * byte-identity tests assert.
+ *
+ * The sharded fabric is static: no link flaps or failure injection
+ * (cross-shard state transitions would need replication); groups are
+ * always fully live.
+ */
+class PodFabricShard : public SimObject
+{
+  public:
+    /**
+     * Build this shard's slice and register its cross-shard channels
+     * with @p host (which also names the shard id / count). Routes
+     * for every node in the spec are installed up front.
+     */
+    PodFabricShard(ShardHost &host, std::string name,
+                   const PodFabricSpec &spec);
+
+    const PodFabricSpec &spec() const { return _spec; }
+
+    /** True when @p node_id's pod belongs to this shard. */
+    bool
+    ownsNode(std::uint32_t node_id) const
+    {
+        return PodFabricSpec::podShard(_spec.podOf(node_id),
+                                       _shards) == _shard;
+    }
+
+    /**
+     * Attach endpoint @p ep as @p node_id (must be owned by this
+     * shard). @return the access link; wire the node's TX at it.
+     */
+    EthLink &attach(std::uint32_t node_id, NetEndpoint *ep);
+
+    /** Owned leaf for global leaf index @p l (must be owned). */
+    Switch &leaf(std::uint32_t l);
+    /** Owned spine @p s (must be owned). */
+    Switch &spine(std::uint32_t s);
+
+    /** Frames forwarded by this shard's switches. */
+    std::uint64_t fabricFrames() const;
+    /** Frames this shard pushed into cross-shard channels. */
+    std::uint64_t framesExported() const;
+    /** Frames this shard pumped out of cross-shard channels. */
+    std::uint64_t framesImported() const;
+
+  private:
+    const PodFabricSpec _spec;
+    unsigned _shard;
+    unsigned _shards;
+
+    std::vector<std::unique_ptr<Switch>> _ownedSwitches;
+    std::vector<std::unique_ptr<EthLink>> _ownedLinks;
+    std::vector<std::unique_ptr<EthLink>> _access;
+    /** _leafSw[L] / _spineSw[s]: owned switch or nullptr. */
+    std::vector<Switch *> _leafSw;
+    std::vector<Switch *> _spineSw;
+    /** [L*spines+s]: the egress this shard transmits into for that
+     *  leaf->spine (up) / spine->leaf (down) direction; nullptr when
+     *  the transmitter lives elsewhere. */
+    std::vector<EthLink *> _up;
+    std::vector<EthLink *> _down;
+    /** Channels this shard produces into / consumes from. */
+    std::vector<std::shared_ptr<PacketChannel>> _exports;
+    std::vector<std::shared_ptr<PacketChannel>> _imports;
+
+    /** Channel key of the (L,s) uplink (dir 0) / downlink (dir 1). */
+    std::uint64_t
+    chanKey(std::uint32_t l, std::uint32_t s, int dir) const
+    {
+        return (std::uint64_t(l) * _spec.spines + s) * 2 + dir;
+    }
+
+    void buildSwitches(ShardHost &host);
+    void buildLinks(ShardHost &host);
+    void installRoutes();
 };
 
 } // namespace netdimm

@@ -163,6 +163,32 @@ EventQueue::step()
 std::uint64_t
 EventQueue::run(Tick limit)
 {
+    return runLoop(limit, true);
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick horizon)
+{
+    if (horizon < _curTick)
+        return 0;
+    std::uint64_t n = runLoop(horizon, false);
+    // The quantum's time is consumed even when no event filled it:
+    // later schedule() calls belong to the next quantum.
+    if (_curTick < horizon)
+        _curTick = horizon;
+    return n;
+}
+
+Tick
+EventQueue::peekNextTick()
+{
+    skipDead();
+    return _heap.empty() ? maxTick : _heap.front().when;
+}
+
+std::uint64_t
+EventQueue::runLoop(Tick limit, bool health_on_drain)
+{
     std::uint64_t n = 0;
     bool drained = false;
     // Fused skip-dead / dispatch loop: one top lookup and one slot
@@ -206,7 +232,7 @@ EventQueue::run(Tick limit)
         freeSlot(e.slot);
         ++n;
     }
-    if (drained && !_probes.empty())
+    if (drained && health_on_drain && !_probes.empty())
         checkHealth();
     return n;
 }

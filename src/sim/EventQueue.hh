@@ -152,6 +152,27 @@ class EventQueue
     std::uint64_t run(Tick limit = maxTick);
 
     /**
+     * Bounded execution for co-simulation / sharded drivers: run
+     * every event with when <= @p horizon, then advance the clock to
+     * exactly @p horizon even if the queue went idle earlier. Unlike
+     * run(), draining before the horizon is a normal outcome (the
+     * next work may arrive from outside this queue), so no health
+     * check fires. Re-entrant: successive calls with growing horizons
+     * resume where the previous one stopped; a horizon before
+     * curTick() is a no-op, and a horizon equal to curTick() runs
+     * only events scheduled at exactly the current tick.
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick horizon);
+
+    /**
+     * Tick of the earliest pending event, or maxTick when none is
+     * pending. Prunes cancelled entries, so it is not const.
+     */
+    Tick peekNextTick();
+
+    /**
      * Run exactly one event if any is pending.
      * @return true if an event was executed.
      */
@@ -349,6 +370,9 @@ class EventQueue
 
     /** Drop cancelled / stale entries off the top of the heap. */
     void skipDead();
+
+    /** Shared core of run()/runUntil(). */
+    std::uint64_t runLoop(Tick limit, bool health_on_drain);
 
     /** Pop and run the (live) top entry. */
     void dispatchTop();

@@ -214,3 +214,81 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
 }
+
+TEST(EventQueue, RunUntilStopsExactlyAtHorizon)
+{
+    // Events at the horizon tick itself run; later ones stay queued,
+    // and the clock lands exactly on the horizon either way (the PDES
+    // quantum contract: after runUntil(h) the shard's clock IS h).
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(50, [&] { order.push_back(2); });
+    eq.schedule(51, [&] { order.push_back(3); });
+
+    EXPECT_EQ(eq.runUntil(50), 2u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 50u);
+    EXPECT_EQ(eq.pendingEvents(), 1u);
+    EXPECT_EQ(eq.peekNextTick(), 51u);
+}
+
+TEST(EventQueue, RunUntilOnEmptyQueueAdvancesClock)
+{
+    // A drained shard still advances to the quantum edge so its
+    // neighbors' lookahead guarantee keeps holding.
+    EventQueue eq;
+    EXPECT_EQ(eq.runUntil(1000), 0u);
+    EXPECT_EQ(eq.curTick(), 1000u);
+    EXPECT_EQ(eq.peekNextTick(), maxTick);
+
+    // A horizon at or before the current tick is a no-op, never a
+    // rewind.
+    EXPECT_EQ(eq.runUntil(1000), 0u);
+    EXPECT_EQ(eq.runUntil(5), 0u);
+    EXPECT_EQ(eq.curTick(), 1000u);
+}
+
+TEST(EventQueue, RunUntilIsReentrant)
+{
+    // Quantum-by-quantum execution (the PDES driver loop) reaches the
+    // same state as one run(): events land in their own quantum and
+    // scheduling during a quantum stays legal.
+    EventQueue eq;
+    std::vector<Tick> fired;
+    for (Tick t = 5; t <= 95; t += 10)
+        eq.schedule(t, [&fired, t, &eq] {
+            fired.push_back(t);
+            // Chain into a later quantum from inside this one.
+            if (t == 45)
+                eq.schedule(72, [&fired] { fired.push_back(72); });
+        });
+
+    std::uint64_t total = 0;
+    for (Tick h = 10; h <= 100; h += 10)
+        total += eq.runUntil(h);
+    EXPECT_EQ(total, 11u);
+    EXPECT_EQ(eq.curTick(), 100u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(fired,
+              (std::vector<Tick>{5, 15, 25, 35, 45, 55, 65, 72, 75,
+                                 85, 95}));
+
+    // The queue is still usable with plain run() afterwards.
+    bool ran = false;
+    eq.schedule(200, [&] { ran = true; });
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, PeekNextTickSkipsDescheduledEvents)
+{
+    EventQueue eq;
+    std::uint64_t h = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    EXPECT_EQ(eq.peekNextTick(), 10u);
+    eq.deschedule(h);
+    // The dead tick-10 entry must not be reported as pending work.
+    EXPECT_EQ(eq.peekNextTick(), 20u);
+    EXPECT_EQ(eq.runUntil(20), 1u);
+}

@@ -168,6 +168,57 @@ TEST(LatencyHistogram, MergeWithEmptyIsIdentity)
     EXPECT_DOUBLE_EQ(e3.fractionWithinDeadline(100), 0.0);
 }
 
+TEST(LatencyHistogram, MergeIsOrderIndependentAndAssociative)
+{
+    // Property backing the PDES stats contract (DESIGN.md §16): the
+    // driver merges per-shard histograms in shard order, but the
+    // result must not depend on that order or grouping — otherwise
+    // re-sharding a topology would change the reported digest even
+    // with identical samples. Randomized populations across the
+    // linear and log regions, compared by exact digest.
+    Random rng(1234);
+    for (int trial = 0; trial < 20; ++trial) {
+        LatencyHistogram parts[4];
+        for (int p = 0; p < 4; ++p) {
+            int n = int(rng.uniformInt(1, 200));
+            for (int i = 0; i < n; ++i)
+                parts[p].sample(
+                    std::uint64_t(rng.exponential(5e5)));
+        }
+
+        // Reference: left-fold in index order.
+        LatencyHistogram fwd;
+        for (const LatencyHistogram &p : parts)
+            fwd.merge(p);
+
+        // Order-independence: reversed fold.
+        LatencyHistogram rev;
+        for (int p = 3; p >= 0; --p)
+            rev.merge(parts[p]);
+        EXPECT_EQ(rev.digest(), fwd.digest()) << "trial " << trial;
+
+        // Associativity: (0+1) + (2+3) as pre-merged groups.
+        LatencyHistogram left, right, grouped;
+        left.merge(parts[0]);
+        left.merge(parts[1]);
+        right.merge(parts[2]);
+        right.merge(parts[3]);
+        grouped.merge(left);
+        grouped.merge(right);
+        EXPECT_EQ(grouped.digest(), fwd.digest())
+            << "trial " << trial;
+
+        // And the fold really is the combined population.
+        std::uint64_t count = 0, sum = 0;
+        for (const LatencyHistogram &p : parts) {
+            count += p.count();
+            sum += p.sum();
+        }
+        EXPECT_EQ(fwd.count(), count);
+        EXPECT_EQ(fwd.sum(), sum);
+    }
+}
+
 TEST(LatencyHistogram, PercentilesMonotone)
 {
     Random rng(99);

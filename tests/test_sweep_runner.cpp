@@ -285,6 +285,54 @@ TEST(SweepRunner, ParseSweepCliRejectsBadJobs)
     EXPECT_NE(err.find("requires a value"), std::string::npos);
 }
 
+TEST(SweepRunner, ParseSweepCliShards)
+{
+    // --shards N lands in cli.shards; absence keeps the 0 sentinel
+    // (the PDES benches pick their own sweep in that case).
+    SweepCli cli;
+    std::string err;
+    ASSERT_TRUE(tryParseSweepCli({"--shards", "4"}, {}, cli, err))
+        << err;
+    EXPECT_EQ(cli.shards, 4u);
+
+    SweepCli def;
+    ASSERT_TRUE(tryParseSweepCli({}, {}, def, err)) << err;
+    EXPECT_EQ(def.shards, 0u);
+
+    // Composes with the rest of the surface.
+    SweepCli both;
+    ASSERT_TRUE(tryParseSweepCli({"--jobs", "2", "--shards", "8",
+                                  "--short"},
+                                 {}, both, err))
+        << err;
+    EXPECT_EQ(both.jobs, 2u);
+    EXPECT_EQ(both.shards, 8u);
+    EXPECT_TRUE(both.shortMode);
+}
+
+TEST(SweepRunner, ParseSweepCliRejectsBadShards)
+{
+    // Same reject semantics as --jobs: 0, negative, non-numeric,
+    // trailing garbage, and a missing value are all hard errors.
+    SweepCli cli;
+    std::string err;
+
+    EXPECT_FALSE(tryParseSweepCli({"--shards", "0"}, {}, cli, err));
+    EXPECT_NE(err.find("--shards"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--shards", "-2"}, {}, cli, err));
+    EXPECT_NE(err.find("positive"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--shards", "four"}, {}, cli,
+                                  err));
+    EXPECT_NE(err.find("four"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--shards", "4x"}, {}, cli, err));
+
+    EXPECT_FALSE(tryParseSweepCli({"--shards"}, {}, cli, err));
+    EXPECT_NE(err.find("requires a value"), std::string::npos);
+}
+
 TEST(SweepRunner, ParseSweepCliRejectsUnknownFlags)
 {
     SweepCli cli;
