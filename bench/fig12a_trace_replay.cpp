@@ -187,12 +187,8 @@ main(int argc, char **argv)
     // Shared immutable inputs: one synthesized trace per cluster,
     // identical to what each cell used to generate privately (same
     // generator, same seed), read by every cell via const ref.
-    std::vector<std::vector<TraceRecord>> traces;
-    traces.reserve(clusters.size());
-    for (ClusterType c : clusters) {
-        TraceGen gen(c, 5.0, 12345);
-        traces.push_back(TraceFile::synthesize(gen, npackets));
-    }
+    std::vector<std::vector<TraceRecord>> traces =
+        synthesizeClusterTraces(clusters, 5.0, 12345, npackets);
 
     // Grid order: cluster-major, then switch latency, then NIC kind.
     std::vector<SweepCell<double>> cells;

@@ -50,6 +50,7 @@
 #include "harness/SweepRunner.hh"
 #include "net/Topology.hh"
 #include "sim/Logging.hh"
+#include "workload/TraceGen.hh"
 
 using namespace netdimm;
 
@@ -72,44 +73,21 @@ peakRssKb()
     return ru.ru_maxrss;
 }
 
-/** Deterministic 64-bit mixer (splitmix64 finalizer). */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
-/** Trace shape shared by every run. */
+/** Trace shape shared by every run: the pod fabric plus the
+ *  node-striped synthetic trace (workload/TraceGen.hh). */
 struct TraceParams
 {
     PodFabricSpec spec;
-    std::uint32_t framesPerNode = 0;
-    std::uint32_t bytes = 1024; ///< one fixed size (see file header)
-    Tick warmup = usToTicks(10);
-    Tick gap = usToTicks(6); ///< per-node inter-arrival
-    Tick settle = usToTicks(1000);
+    StripedTraceSpec trace;
 
-    Tick
-    horizon() const
-    {
-        return warmup + Tick(framesPerNode) * gap + settle;
-    }
-    std::uint64_t
-    flows() const
-    {
-        return std::uint64_t(spec.totalNodes()) * framesPerNode;
-    }
+    Tick horizon() const { return trace.horizon(); }
+    std::uint64_t flows() const { return trace.flows(); }
 };
 
 /**
  * One traffic endpoint: an event chain sends framesPerNode frames at
- * jittered born ticks; deliveries land in the shard's histogram.
- * Born ticks are globally unique: each node owns a slot of width
- * gap/totalNodes inside every gap window, and the jitter hash stays
- * inside the slot.
+ * the spec's jittered, globally-unique born ticks; deliveries land
+ * in the shard's histogram.
  */
 struct TraceNode : NetEndpoint
 {
@@ -127,38 +105,26 @@ struct TraceNode : NetEndpoint
     {
     }
 
-    Tick
-    bornTick(std::uint32_t i) const
-    {
-        Tick slot = tp.gap / tp.spec.totalNodes();
-        Tick jitter = Tick(id) * slot +
-                      mix64((std::uint64_t(id) << 32) | i) % slot;
-        return tp.warmup + Tick(i) * tp.gap + jitter;
-    }
-
     void
     start()
     {
-        if (tp.framesPerNode > 0)
-            eq.schedule(bornTick(0), [this] { fire(0); });
+        if (tp.trace.framesPerNode > 0)
+            eq.schedule(tp.trace.bornTick(id, 0),
+                        [this] { fire(0); });
     }
 
     void
     fire(std::uint32_t i)
     {
-        std::uint32_t n = tp.spec.totalNodes();
-        std::uint32_t dst = std::uint32_t(
-            mix64((std::uint64_t(i) << 32) | (id * 2654435761u)) %
-            (n - 1));
-        if (dst >= id)
-            ++dst; // never self
-        PacketPtr pkt = makePacket(eq, tp.bytes, id, dst);
-        pkt->flowId = std::uint64_t(id) * tp.framesPerNode + i;
+        std::uint32_t dst = tp.trace.dstOf(id, i);
+        PacketPtr pkt = makePacket(eq, tp.trace.bytes, id, dst);
+        pkt->flowId = tp.trace.flowIdOf(id, i);
         pkt->born = eq.curTick();
         ++*sent;
         access->send(this, pkt);
-        if (i + 1 < tp.framesPerNode)
-            eq.schedule(bornTick(i + 1), [this, i] { fire(i + 1); });
+        if (i + 1 < tp.trace.framesPerNode)
+            eq.schedule(tp.trace.bornTick(id, i + 1),
+                        [this, i] { fire(i + 1); });
     }
 
     void
@@ -272,7 +238,7 @@ canonicalTable(const TraceParams &tp, const RunResult &r)
                   "pdes-trace nodes=%u flows=%llu frame_bytes=%u "
                   "quantum=%llu\n",
                   tp.spec.totalNodes(),
-                  (unsigned long long)tp.flows(), tp.bytes,
+                  (unsigned long long)tp.flows(), tp.trace.bytes,
                   (unsigned long long)tp.spec.lookahead());
     s += buf;
     std::snprintf(buf, sizeof(buf),
@@ -356,13 +322,14 @@ main(int argc, char **argv)
     // Lossless fabric: identity needs sent == rcvd, not tail drops.
     tp.spec.eth.switchQueueFrames = 0;
     tp.spec.eth.ecnThresholdFrames = 0;
+    tp.trace.nodes = tp.spec.totalNodes();
 
     std::vector<unsigned> shardCounts =
         cli.shards ? std::vector<unsigned>{cli.shards}
                    : std::vector<unsigned>{1, 2, 4};
 
     // -- identity phase (deterministic merge) -------------------------
-    tp.framesPerNode = cli.shortMode ? 40 : 100;
+    tp.trace.framesPerNode = cli.shortMode ? 40 : 100;
     if (detOnly) {
         // Canonical table only; run at each requested shard count and
         // print each table to stdout (identical tables, so the diff
@@ -418,7 +385,7 @@ main(int argc, char **argv)
     std::printf("} shards\n");
 
     // -- scaling phase (free-running) ---------------------------------
-    tp.framesPerNode = cli.shortMode ? 250 : 2000;
+    tp.trace.framesPerNode = cli.shortMode ? 250 : 2000;
     std::string freeTable;
     std::vector<RunResult> perf;
     for (unsigned s : shardCounts) {

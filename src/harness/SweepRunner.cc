@@ -158,6 +158,20 @@ SweepRunner::drainWorkerPools()
     return out;
 }
 
+const char *
+fidelityModeName(FidelityMode mode)
+{
+    switch (mode) {
+      case FidelityMode::Packet:
+        return "packet";
+      case FidelityMode::Hybrid:
+        return "hybrid";
+      case FidelityMode::Fluid:
+        return "fluid";
+    }
+    return "?";
+}
+
 bool
 tryParseSweepCli(const std::vector<std::string> &args,
                  const std::vector<std::string> &extra_flags,
@@ -202,6 +216,25 @@ tryParseSweepCli(const std::vector<std::string> &args,
             cli.shards = unsigned(n);
             continue;
         }
+        if (arg == "--fidelity") {
+            if (a + 1 >= args.size()) {
+                error = "--fidelity requires a value";
+                return false;
+            }
+            const std::string &v = args[++a];
+            if (v == "packet") {
+                cli.fidelity = FidelityMode::Packet;
+            } else if (v == "hybrid") {
+                cli.fidelity = FidelityMode::Hybrid;
+            } else if (v == "fluid") {
+                cli.fidelity = FidelityMode::Fluid;
+            } else {
+                error = "--fidelity must be one of packet, hybrid, "
+                        "fluid (got '" + v + "')";
+                return false;
+            }
+            continue;
+        }
         bool allowed = false;
         for (const std::string &f : extra_flags)
             if (arg == f) {
@@ -233,7 +266,8 @@ parseSweepCli(int argc, char **argv,
     if (!tryParseSweepCli(args, extra_flags, cli, error)) {
         std::string usage = "usage: ";
         usage += argc > 0 ? argv[0] : "bench";
-        usage += " [--short] [--jobs N] [--shards N]";
+        usage += " [--short] [--jobs N] [--shards N]"
+                 " [--fidelity packet|hybrid|fluid]";
         for (const std::string &f : extra_flags)
             usage += " [" + f + "]";
         std::fprintf(stderr, "%s: %s\n%s\n",

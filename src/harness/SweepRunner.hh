@@ -179,12 +179,32 @@ class SweepRunner
  * hard parse error — typos fail loudly instead of silently running
  * the wrong experiment.
  */
+/**
+ * Simulation fidelity selected on the command line (`--fidelity`).
+ * Packet runs everything packet-level (the default: all goldens are
+ * produced in this mode and stay byte-identical); Hybrid runs bulk
+ * flows fluid with packet-level witnesses and handoff at points of
+ * interest (DESIGN.md §17); Fluid runs every flow rate-modeled.
+ */
+enum class FidelityMode : std::uint8_t
+{
+    Packet,
+    Hybrid,
+    Fluid,
+};
+
+/** Canonical CLI spelling of @p mode ("packet", "hybrid", "fluid"). */
+const char *fidelityModeName(FidelityMode mode);
+
 struct SweepCli
 {
     unsigned jobs = 0; ///< resolved: >= 1
     /** `--shards N` for the PDES benches; 0 = flag absent (the bench
      *  picks its own sweep). Same reject semantics as `--jobs`. */
     unsigned shards = 0;
+    /** `--fidelity {packet,hybrid,fluid}`; packet when absent. Same
+     *  reject semantics as `--jobs` (missing/unknown value = error). */
+    FidelityMode fidelity = FidelityMode::Packet;
     bool shortMode = false;
     /** Allowlisted caller-handled flags, in argv order. */
     std::vector<std::string> rest;

@@ -87,7 +87,19 @@ EthLink::send(NetEndpoint *from, const PacketPtr &pkt)
     int dir = (from == _endA) ? 0 : 1;
     NetEndpoint *to = (from == _endA) ? _endB : _endA;
 
-    Tick start = std::max(curTick(), _txFree[dir]);
+    Tick ready = curTick();
+    if (_bg && dir == 0) {
+        // Hybrid fidelity: the fluid backlog is a FIFO of bytes
+        // already committed to this transmitter; the frame starts
+        // serializing only after they drain (DESIGN.md §17).
+        ready += serializationTicks(_bg->backlogWireBytesAt(curTick()),
+                                    _cfg.gbps);
+        std::uint32_t wire =
+            std::max(pkt->bytes, _cfg.minFrameBytes) +
+            _cfg.framingBytes;
+        _bg->onPacketWireBytes(wire);
+    }
+    Tick start = std::max(ready, _txFree[dir]);
     Tick ser = frameTicks(pkt->bytes);
     _txFree[dir] = start + ser;
 

@@ -90,6 +90,37 @@ class LinkFaultHook
     virtual Verdict judge(const PacketPtr &pkt) = 0;
 };
 
+/**
+ * Aggregate load of fluid-modeled flows as seen by the packet-level
+ * network (hybrid fidelity, DESIGN.md §17). Implemented by
+ * flow::FluidLink; the interface lives here so nd_net does not
+ * depend on nd_flow. A link or switch port with a background source
+ * treats the fluid backlog as frames already queued ahead of each
+ * packet-level frame: the link delays the frame by the backlog's
+ * serialization time, the switch adds the backlog to the queue depth
+ * its ECN/tail-drop thresholds see. With no source installed (the
+ * default) both run their exact legacy code paths.
+ */
+class FluidBackground
+{
+  public:
+    virtual ~FluidBackground() = default;
+
+    /** Fluid backlog queued ahead at @p now, in wire bytes. */
+    virtual std::uint64_t backlogWireBytesAt(Tick now) const = 0;
+
+    /** The same backlog expressed in reference frames (for the
+     *  switch's frame-granular ECN/tail-drop thresholds). */
+    virtual std::uint64_t backlogFramesAt(Tick now) const = 0;
+
+    /**
+     * A packet-level frame of @p wire_bytes claimed the transmitter;
+     * the fluid model deducts the measured packet rate from the
+     * capacity its flows compete for (two-way interference).
+     */
+    virtual void onPacketWireBytes(std::uint32_t wire_bytes) = 0;
+};
+
 class EthLink : public SimObject
 {
   public:
@@ -128,6 +159,15 @@ class EthLink : public SimObject
      * makes the link lossless. The hook is not owned.
      */
     void setFaultHook(LinkFaultHook *hook) { _fault = hook; }
+
+    /**
+     * Install a fluid background source on the A->B direction (the
+     * direction the fluid model covers); nullptr (default) restores
+     * the exact legacy timing path. The source is not owned. Frames
+     * sent A->B wait behind the fluid backlog's serialization time
+     * and report their own wire bytes back to the source.
+     */
+    void setBackgroundSource(FluidBackground *bg) { _bg = bg; }
 
     // -- link state ------------------------------------------------------
     bool up() const { return _up; }
@@ -190,6 +230,7 @@ class EthLink : public SimObject
     NetEndpoint *_endB = nullptr;
     CrossShardSink *_remoteSink = nullptr;
     LinkFaultHook *_fault = nullptr;
+    FluidBackground *_bg = nullptr;
     FaultDomain *_domain = nullptr;
     /** Per-direction transmitter-free times: [0]=A->B, [1]=B->A. */
     Tick _txFree[2] = {0, 0};

@@ -16,6 +16,7 @@ Switch::Switch(EventQueue &eq, std::string name, const EthConfig &cfg)
     : Switch(eq, std::move(name), cfg.switchLatency,
              cfg.switchQueueFrames, cfg.ecnThresholdFrames)
 {
+    _ecnDequeue = cfg.ecnMarkDequeue;
 }
 
 Switch::EcmpGroup
@@ -97,6 +98,15 @@ Switch::queueDepth(const EthLink *out) const
     if (it == _ports.end())
         return 0;
     return it->second.queue.size() + (it->second.draining ? 1 : 0);
+}
+
+void
+Switch::setBackgroundSource(EthLink *out, FluidBackground *bg)
+{
+    if (bg)
+        _bg[out] = bg;
+    else
+        _bg.erase(out);
 }
 
 std::uint32_t
@@ -190,6 +200,11 @@ Switch::enqueue(EthLink *out, const PacketPtr &pkt)
     Port &port = _ports[out];
     // Occupancy counts the frame on the transmitter plus the queue.
     std::size_t depth = port.queue.size() + (port.draining ? 1 : 0);
+    if (!_bg.empty()) {
+        auto it = _bg.find(out);
+        if (it != _bg.end() && it->second)
+            depth += it->second->backlogFramesAt(curTick());
+    }
     if (_queueFrames > 0 && depth >= _queueFrames) {
         _dropsQueue.inc();
         debugLog("%s: egress queue to %s full (%zu), tail-dropping "
@@ -198,7 +213,7 @@ Switch::enqueue(EthLink *out, const PacketPtr &pkt)
                  static_cast<unsigned long long>(pkt->id));
         return;
     }
-    if (_ecnThreshold > 0 && depth >= _ecnThreshold) {
+    if (!_ecnDequeue && _ecnThreshold > 0 && depth >= _ecnThreshold) {
         pkt->ecnMarked = true;
         _ecnMarks.inc();
     }
@@ -220,6 +235,21 @@ Switch::drain(EthLink *out)
     port.draining = true;
     PacketPtr pkt = port.queue.front();
     port.queue.pop_front();
+    if (_ecnDequeue && _ecnThreshold > 0) {
+        // DCTCP-style: mark against the depth the departing frame
+        // leaves behind (itself included), so the echo reports the
+        // queue as it is *now*, not as it was a full queue-wait ago.
+        std::size_t depth = port.queue.size() + 1;
+        if (!_bg.empty()) {
+            auto it = _bg.find(out);
+            if (it != _bg.end() && it->second)
+                depth += it->second->backlogFramesAt(curTick());
+        }
+        if (depth >= _ecnThreshold) {
+            pkt->ecnMarked = true;
+            _ecnMarks.inc();
+        }
+    }
     out->send(this, pkt);
     // The next frame may start once this one finished serializing.
     scheduleRel(out->frameTicks(pkt->bytes),

@@ -90,12 +90,22 @@ class Switch : public SimObject, public NetEndpoint
     {
         return _dropsLinkDown.value();
     }
-    /** Frames ECN-marked at enqueue. */
+    /** Frames ECN-marked (at enqueue, or at dequeue when the
+     *  EthConfig sets ecnMarkDequeue). */
     std::uint64_t ecnMarks() const { return _ecnMarks.value(); }
     /** Deepest egress queue observed (frames), across all ports. */
     std::uint64_t maxQueueDepth() const { return _maxDepth; }
     /** Egress depth (frames) currently queued toward @p out. */
     std::size_t queueDepth(const EthLink *out) const;
+
+    /**
+     * Hybrid fidelity (DESIGN.md §17): frames fluid flows have
+     * queued toward @p out count toward the depth the ECN/tail-drop
+     * thresholds see (occupancy and drain timing are unchanged — the
+     * link-side background source models the added wait). nullptr
+     * detaches; the source is not owned.
+     */
+    void setBackgroundSource(EthLink *out, FluidBackground *bg);
 
     /** ECMP groups whose members are currently all down. */
     std::uint32_t degradedGroups() const;
@@ -136,10 +146,13 @@ class Switch : public SimObject, public NetEndpoint
     Tick _portLatency;
     std::uint32_t _queueFrames;
     std::uint32_t _ecnThreshold;
+    /** Mark at dequeue (EthConfig::ecnMarkDequeue). */
+    bool _ecnDequeue = false;
     RouteTable<EcmpGroup> _routes;
     /** Links this switch already listens to for up/down edges. */
     std::set<EthLink *> _watched;
     std::map<EthLink *, Port> _ports;
+    std::map<EthLink *, FluidBackground *> _bg;
     stats::Scalar _frames;
     stats::Scalar _dropsQueue;
     stats::Scalar _dropsNoPath;

@@ -45,6 +45,9 @@ enum class EventPriority : int
 {
     /** DRAM / link state maintenance runs before consumers. */
     Maintenance = 0,
+    /** Fluid-model solver rounds (src/flow) integrate link backlogs
+     *  up to the tick before packet-level consumers sample them. */
+    Fluid = 5,
     /** Default priority for most component events. */
     Default = 10,
     /** Statistic sampling runs after the tick's functional events. */

@@ -246,6 +246,16 @@ struct EthConfig
      * ECN-marked (congestion experienced). 0 disables marking.
      */
     std::uint32_t ecnThresholdFrames = 16;
+    /**
+     * Mark frames against the instantaneous depth at *dequeue* time
+     * (DCTCP-style) instead of at enqueue. Enqueue marks echo back
+     * only after the marked frame has waited out the queue in front
+     * of it — a feedback delay that grows with the very congestion it
+     * reports and drives large relaxation oscillations; dequeue marks
+     * reach the sender a wire RTT after the depth they report, so the
+     * control loop stabilizes the queue near the threshold.
+     */
+    bool ecnMarkDequeue = false;
 };
 
 /**

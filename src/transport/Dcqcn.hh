@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The DCQCN-flavored rate-control law (Zhu et al., SIGCOMM'15),
+ * factored out of TransportFlow so the fluid flow model
+ * (src/flow) runs the *same arithmetic in the same order* as the
+ * packet-level transport: an ECN signal cuts the current rate
+ * multiplicatively by alpha/2 and raises the congestion estimate
+ * alpha; each periodic timer round decays alpha and recovers the
+ * rate through fast-recovery, additive and hyper increase stages.
+ *
+ * The struct is pure state + transition functions; ownership of the
+ * timer cadence, the cut triggers and the statistics stays with the
+ * caller (TransportFlow pacing, FluidSolver rounds). Keeping one
+ * implementation is what makes the hybrid-fidelity accuracy claim a
+ * property of the *abstraction* (fluid vs per-packet) rather than of
+ * two control laws drifting apart.
+ */
+
+#ifndef NETDIMM_TRANSPORT_DCQCN_HH
+#define NETDIMM_TRANSPORT_DCQCN_HH
+
+#include <algorithm>
+
+#include "sim/SystemConfig.hh"
+
+namespace netdimm
+{
+
+struct DcqcnState
+{
+    /** Current sending rate (the pacing rate), Gbps. */
+    double rateGbps = 0.0;
+    /** Recovery target the rate converges back toward, Gbps. */
+    double targetGbps = 0.0;
+    /** Congestion estimate (EWMA of marked rounds). */
+    double alpha = 1.0;
+    /** Tick of the last accepted cut (0 = never cut). */
+    Tick lastCutTick = 0;
+    /** A cut happened since the last timer round. */
+    bool cutSinceLastTimer = false;
+    /** Consecutive increase rounds since the last cut. */
+    std::uint32_t incRounds = 0;
+
+    /** Start at line rate, exactly like a fresh TransportFlow. */
+    void
+    init(const TransportConfig &cfg)
+    {
+        rateGbps = cfg.lineRateGbps;
+        targetGbps = cfg.lineRateGbps;
+    }
+
+    /**
+     * React to a congestion signal (ECN echo or loss-timeout) at
+     * @p now. Cuts are rate-limited by cfg.rateCutHoldoff; a cut
+     * inside the holdoff is ignored.
+     *
+     * @return true when the cut was applied (callers count these).
+     */
+    bool
+    cut(const TransportConfig &cfg, Tick now)
+    {
+        if (now - lastCutTick < cfg.rateCutHoldoff && lastCutTick)
+            return false;
+        lastCutTick = now;
+        cutSinceLastTimer = true;
+        incRounds = 0;
+        targetGbps = rateGbps;
+        rateGbps = std::max(cfg.minRateGbps,
+                            rateGbps * (1.0 - alpha / 2.0));
+        alpha = (1.0 - cfg.alphaGain) * alpha + cfg.alphaGain;
+        return true;
+    }
+
+    /**
+     * One period of the rate-increase / alpha-decay timer. A round
+     * that saw a cut only clears the flag (the cut already adjusted
+     * the rate); a calm round decays alpha and recovers the rate.
+     */
+    void
+    timerRound(const TransportConfig &cfg)
+    {
+        if (cutSinceLastTimer) {
+            cutSinceLastTimer = false;
+            return;
+        }
+        alpha *= (1.0 - cfg.alphaGain);
+        ++incRounds;
+        if (incRounds > cfg.hyperRounds)
+            targetGbps += cfg.hyperIncreaseGbps;
+        else if (incRounds > cfg.fastRecoveryRounds)
+            targetGbps += cfg.additiveIncreaseGbps;
+        targetGbps = std::min(targetGbps, cfg.lineRateGbps);
+        rateGbps =
+            std::min((targetGbps + rateGbps) / 2.0, cfg.lineRateGbps);
+    }
+};
+
+/**
+ * Rate-controller + byte-accounting snapshot exchanged at a
+ * fidelity handoff (DESIGN.md §17). Exported from a packet-level
+ * TransportFlow when a flow *demotes* to the fluid model, and fed
+ * into a fresh TransportFlow when a fluid flow *promotes* to packet
+ * level. Byte conservation is the handoff invariant:
+ *
+ *   delivered-so-far + bytesInFlight + bytesUnsent == total offered
+ *
+ * holds on both sides of either conversion. In-flight bytes are
+ * re-queued at the head on import; pacing at the imported rate
+ * naturally spreads them over roughly one RTT (inFlight ~ rate*RTT).
+ */
+struct FlowHandoff
+{
+    DcqcnState cc{};
+    /** Bytes enqueued but never transmitted. */
+    std::uint64_t bytesUnsent = 0;
+    /** Bytes transmitted but not yet acknowledged/delivered. */
+    std::uint64_t bytesInFlight = 0;
+
+    /** Everything the receiving domain must still account for. */
+    std::uint64_t
+    bytesRemaining() const
+    {
+        return bytesUnsent + bytesInFlight;
+    }
+};
+
+} // namespace netdimm
+
+#endif // NETDIMM_TRANSPORT_DCQCN_HH

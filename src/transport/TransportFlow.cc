@@ -9,10 +9,10 @@ TransportFlow::TransportFlow(EventQueue &eq, std::string name,
                              const TransportConfig &cfg,
                              std::uint64_t flow_id)
     : SimObject(eq, std::move(name)), _cfg(cfg), _flowId(flow_id),
-      _rto(cfg.minRto), _rateGbps(cfg.lineRateGbps),
-      _targetGbps(cfg.lineRateGbps)
+      _rto(cfg.minRto)
 {
     ND_ASSERT(cfg.segmentBytes > 0 && cfg.window > 0);
+    _cc.init(cfg);
 }
 
 // ---------------------------------------------------------------------
@@ -22,7 +22,7 @@ TransportFlow::TransportFlow(EventQueue &eq, std::string name,
 void
 TransportFlow::send(std::uint64_t bytes)
 {
-    ND_ASSERT(!_closed);
+    ND_ASSERT(!_closed && !_detached);
     ND_ASSERT(_makeData && _txData);
     if (!_started) {
         _started = true;
@@ -52,13 +52,13 @@ TransportFlow::close()
 Tick
 TransportFlow::paceGap(std::uint32_t bytes) const
 {
-    return serializationTicks(bytes, _rateGbps);
+    return serializationTicks(bytes, _cc.rateGbps);
 }
 
 void
 TransportFlow::kickTx()
 {
-    if (_txScheduled || _complete || _aborted)
+    if (_txScheduled || _complete || _aborted || _detached)
         return;
     Tick when = std::max(curTick(), _nextTxAllowed);
     _txScheduled = true;
@@ -69,7 +69,7 @@ void
 TransportFlow::txLoop()
 {
     _txScheduled = false;
-    if (_complete || _aborted)
+    if (_complete || _aborted || _detached)
         return;
     if (curTick() < _nextTxAllowed) {
         kickTx();
@@ -105,7 +105,7 @@ TransportFlow::txLoop()
 void
 TransportFlow::onSenderReceive(const PacketPtr &ack)
 {
-    if (_complete || _aborted || !ack->isAck)
+    if (_complete || _aborted || _detached || !ack->isAck)
         return;
     _acksRx.inc();
 
@@ -186,7 +186,7 @@ void
 TransportFlow::onRtoExpired()
 {
     _rtoArmed = false;
-    if (_complete || _aborted || _base >= _highWater)
+    if (_complete || _aborted || _detached || _base >= _highWater)
         return;
     _timeouts.inc();
     if (++_rtoRetries > _cfg.maxRetries) {
@@ -239,22 +239,14 @@ TransportFlow::abort()
 void
 TransportFlow::rateCut()
 {
-    if (curTick() - _lastCutTick < _cfg.rateCutHoldoff && _lastCutTick)
-        return;
-    _lastCutTick = curTick();
-    _cutSinceLastTimer = true;
-    _incRounds = 0;
-    _targetGbps = _rateGbps;
-    _rateGbps = std::max(_cfg.minRateGbps,
-                         _rateGbps * (1.0 - _alpha / 2.0));
-    _alpha = (1.0 - _cfg.alphaGain) * _alpha + _cfg.alphaGain;
-    _rateCuts.inc();
+    if (_cc.cut(_cfg, curTick()))
+        _rateCuts.inc();
 }
 
 void
 TransportFlow::armRateTimer()
 {
-    if (_rateTimerArmed || _complete || _aborted)
+    if (_rateTimerArmed || _complete || _aborted || _detached)
         return;
     _rateTimerArmed = true;
     _rateTimerHandle = scheduleRel(_cfg.rateIncreaseInterval,
@@ -265,25 +257,45 @@ void
 TransportFlow::onRateTimer()
 {
     _rateTimerArmed = false;
-    if (_complete || _aborted)
+    if (_complete || _aborted || _detached)
         return;
-    if (_cutSinceLastTimer) {
-        _cutSinceLastTimer = false;
-    } else {
-        _alpha *= (1.0 - _cfg.alphaGain);
-        ++_incRounds;
-        if (_incRounds > _cfg.hyperRounds)
-            _targetGbps += _cfg.hyperIncreaseGbps;
-        else if (_incRounds > _cfg.fastRecoveryRounds)
-            _targetGbps += _cfg.additiveIncreaseGbps;
-        _targetGbps = std::min(_targetGbps, _cfg.lineRateGbps);
-        _rateGbps =
-            std::min((_targetGbps + _rateGbps) / 2.0,
-                     _cfg.lineRateGbps);
-    }
+    _cc.timerRound(_cfg);
     // Keep the timer running while the flow still has work.
     if (_base < _highWater || _next < _segments.size())
         armRateTimer();
+}
+
+// ---------------------------------------------------------------------
+// Fidelity handoff (DESIGN.md §17)
+// ---------------------------------------------------------------------
+
+FlowHandoff
+TransportFlow::exportHandoff()
+{
+    ND_ASSERT(!_detached);
+    FlowHandoff h;
+    h.cc = _cc;
+    for (std::uint64_t s = _base; s < _next; ++s)
+        h.bytesInFlight += _segments[std::size_t(s)];
+    for (std::uint64_t s = _next; s < _segments.size(); ++s)
+        h.bytesUnsent += _segments[std::size_t(s)];
+    // Quiesce: the fluid model owns these bytes now. Frames already
+    // on the wire are ignored on arrival (entry points check
+    // _detached) so they cannot be delivered twice.
+    _detached = true;
+    cancelRto();
+    if (_rateTimerArmed) {
+        eventq().deschedule(_rateTimerHandle);
+        _rateTimerArmed = false;
+    }
+    return h;
+}
+
+void
+TransportFlow::importHandoff(const FlowHandoff &h)
+{
+    ND_ASSERT(!_started && _segments.empty());
+    _cc = h.cc;
 }
 
 // ---------------------------------------------------------------------
@@ -294,7 +306,7 @@ void
 TransportFlow::onReceiverReceive(const PacketPtr &pkt)
 {
     ND_ASSERT(_makeAck && _txAck);
-    if (pkt->isAck || pkt->corrupted)
+    if (pkt->isAck || pkt->corrupted || _detached)
         return;
 
     bool mark = pkt->ecnMarked;

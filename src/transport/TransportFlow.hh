@@ -30,6 +30,7 @@
 #include "sim/SimObject.hh"
 #include "sim/Stats.hh"
 #include "sim/SystemConfig.hh"
+#include "transport/Dcqcn.hh"
 
 namespace netdimm
 {
@@ -51,6 +52,7 @@ class TransportFlow : public SimObject
                   const TransportConfig &cfg, std::uint64_t flow_id);
 
     std::uint64_t flowId() const { return _flowId; }
+    const TransportConfig &config() const { return _cfg; }
 
     // -- wiring ---------------------------------------------------------
     /** Wire the sender half: how data segments are built and sent. */
@@ -86,6 +88,30 @@ class TransportFlow : public SimObject
      *  outstanding segments are acknowledged. */
     void close();
 
+    // -- fidelity handoff (DESIGN.md §17) -------------------------------
+    /**
+     * Demote this flow out of the packet domain: snapshot the rate
+     * controller plus unsent/in-flight byte counts and *detach* the
+     * flow — timers are cancelled and every later entry point becomes
+     * a no-op, so in-flight frames die silently instead of being
+     * double-counted by the fluid model that takes over. The snapshot
+     * satisfies deliveredBytes() + bytesInFlight + bytesUnsent ==
+     * enqueuedBytes() (in-flight is charged to the fluid side, the
+     * go-back-N semantics of unacked data).
+     */
+    FlowHandoff exportHandoff();
+
+    /**
+     * Promote a fluid flow into this (fresh, never-started) flow:
+     * seed the rate controller from the fluid state. Call before the
+     * first send(); pacing at the imported rate spreads the in-flight
+     * share over roughly one RTT.
+     */
+    void importHandoff(const FlowHandoff &h);
+
+    /** True once exportHandoff() detached this flow. */
+    bool detached() const { return _detached; }
+
     // -- network entry points -------------------------------------------
     /** An ACK frame arrived at the sender. */
     void onSenderReceive(const PacketPtr &ack);
@@ -119,7 +145,7 @@ class TransportFlow : public SimObject
     std::uint64_t outOfOrderDrops() const { return _oooDrops.value(); }
     /** Reordered (stale) cumulative ACKs ignored by the sender. */
     std::uint64_t staleAcks() const { return _staleAcks.value(); }
-    double currentRateGbps() const { return _rateGbps; }
+    double currentRateGbps() const { return _cc.rateGbps; }
 
   private:
     const TransportConfig _cfg;
@@ -140,6 +166,7 @@ class TransportFlow : public SimObject
     bool _closed = false;
     bool _complete = false;
     bool _aborted = false;
+    bool _detached = false;
     Tick _startTick = 0;
     Tick _completeTick = 0;
     bool _started = false;
@@ -156,13 +183,8 @@ class TransportFlow : public SimObject
     bool _txScheduled = false;
     Tick _nextTxAllowed = 0;
 
-    // -- rate controller state ------------------------------------------
-    double _rateGbps;
-    double _targetGbps;
-    double _alpha = 1.0;
-    Tick _lastCutTick = 0;
-    bool _cutSinceLastTimer = false;
-    std::uint32_t _incRounds = 0;
+    // -- rate controller state (shared law, transport/Dcqcn.hh) ---------
+    DcqcnState _cc;
     bool _rateTimerArmed = false;
     std::uint64_t _rateTimerHandle = 0;
 

@@ -1,7 +1,23 @@
 #include "workload/TraceGen.hh"
 
+#include "workload/TraceFile.hh"
+
 namespace netdimm
 {
+
+std::vector<std::vector<TraceRecord>>
+synthesizeClusterTraces(const std::vector<ClusterType> &clusters,
+                        double offered_gbps, std::uint64_t seed,
+                        int npackets)
+{
+    std::vector<std::vector<TraceRecord>> traces;
+    traces.reserve(clusters.size());
+    for (ClusterType c : clusters) {
+        TraceGen gen(c, offered_gbps, seed);
+        traces.push_back(TraceFile::synthesize(gen, npackets));
+    }
+    return traces;
+}
 
 const char *
 clusterName(ClusterType c)

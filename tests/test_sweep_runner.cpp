@@ -333,6 +333,65 @@ TEST(SweepRunner, ParseSweepCliRejectsBadShards)
     EXPECT_NE(err.find("requires a value"), std::string::npos);
 }
 
+TEST(SweepRunner, ParseSweepCliFidelity)
+{
+    // Each spelling lands in cli.fidelity; absence keeps Packet (the
+    // byte-identical default every golden is produced in).
+    SweepCli cli;
+    std::string err;
+    ASSERT_TRUE(tryParseSweepCli({"--fidelity", "hybrid"}, {}, cli,
+                                 err))
+        << err;
+    EXPECT_EQ(cli.fidelity, FidelityMode::Hybrid);
+
+    ASSERT_TRUE(tryParseSweepCli({"--fidelity", "fluid"}, {}, cli,
+                                 err))
+        << err;
+    EXPECT_EQ(cli.fidelity, FidelityMode::Fluid);
+
+    ASSERT_TRUE(tryParseSweepCli({"--fidelity", "packet"}, {}, cli,
+                                 err))
+        << err;
+    EXPECT_EQ(cli.fidelity, FidelityMode::Packet);
+
+    SweepCli def;
+    ASSERT_TRUE(tryParseSweepCli({}, {}, def, err)) << err;
+    EXPECT_EQ(def.fidelity, FidelityMode::Packet);
+
+    // Composes with the rest of the shared sweep surface.
+    SweepCli both;
+    ASSERT_TRUE(tryParseSweepCli({"--fidelity", "fluid", "--jobs",
+                                  "2", "--short"},
+                                 {}, both, err))
+        << err;
+    EXPECT_EQ(both.fidelity, FidelityMode::Fluid);
+    EXPECT_EQ(both.jobs, 2u);
+    EXPECT_TRUE(both.shortMode);
+
+    EXPECT_STREQ(fidelityModeName(FidelityMode::Packet), "packet");
+    EXPECT_STREQ(fidelityModeName(FidelityMode::Hybrid), "hybrid");
+    EXPECT_STREQ(fidelityModeName(FidelityMode::Fluid), "fluid");
+}
+
+TEST(SweepRunner, ParseSweepCliRejectsBadFidelity)
+{
+    // Unknown mode names, a missing value, and case variants are
+    // hard errors naming the offending token, like --jobs/--shards.
+    SweepCli cli;
+    std::string err;
+
+    EXPECT_FALSE(tryParseSweepCli({"--fidelity", "analog"}, {}, cli,
+                                  err));
+    EXPECT_NE(err.find("analog"), std::string::npos);
+    EXPECT_NE(err.find("--fidelity"), std::string::npos);
+
+    EXPECT_FALSE(tryParseSweepCli({"--fidelity", "Packet"}, {}, cli,
+                                  err));
+
+    EXPECT_FALSE(tryParseSweepCli({"--fidelity"}, {}, cli, err));
+    EXPECT_NE(err.find("requires a value"), std::string::npos);
+}
+
 TEST(SweepRunner, ParseSweepCliRejectsUnknownFlags)
 {
     SweepCli cli;
